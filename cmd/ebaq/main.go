@@ -1,0 +1,93 @@
+// Command ebaq is a model-checking calculator for the paper's logic:
+// it enumerates a full-information system and evaluates a formula at
+// every point, reporting validity, the count of satisfying points,
+// and a sample counterexample.
+//
+// Formula syntax (see the knowledge package's Parse):
+//
+//	atoms:   E0 E1 initI=V nfI knowsI=V true false
+//	boolean: ! & | -> <->  (parentheses group)
+//	modal:   KI BI E C Cbox Cdia box dia alw ev
+//
+// Examples:
+//
+//	ebaq -f 'Cbox E0 -> C E0'                      # Sec 3.3: valid
+//	ebaq -f 'C E0 -> Cbox E0'                      # ... the converse fails
+//	ebaq -n 3 -t 1 -mode omission -f 'K0 E0 -> B0 E0'
+//	ebaq -f 'knows1=0 -> K1 E0'                    # syntactic = semantic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	eba "github.com/eventual-agreement/eba"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ebaq:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 3, "processors")
+		t        = flag.Int("t", 1, "fault bound")
+		modeName = flag.String("mode", "crash", "crash | omission")
+		h        = flag.Int("h", 0, "horizon (default t+2)")
+		src      = flag.String("f", "", "formula to evaluate (required)")
+		limit    = flag.Int("limit", 2_000_000, "omission pattern limit")
+	)
+	flag.Parse()
+	if *src == "" {
+		return fmt.Errorf("missing -f formula")
+	}
+	if *h == 0 {
+		*h = *t + 2
+	}
+	var mode eba.Mode
+	switch *modeName {
+	case "crash":
+		mode = eba.Crash
+	case "omission":
+		mode = eba.Omission
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+
+	f, err := knowledge.Parse(*src)
+	if err != nil {
+		return err
+	}
+
+	sys, err := eba.NewSystem(eba.Params{N: *n, T: *t}, mode, *h, *limit)
+	if err != nil {
+		return err
+	}
+	e := eba.NewEvaluator(sys)
+	tbl := e.Eval(f)
+
+	fmt.Printf("formula:  %s\n", f)
+	fmt.Printf("system:   %s n=%d t=%d h=%d (%d runs, %d points)\n",
+		mode, *n, *t, *h, sys.NumRuns(), sys.NumPoints())
+	fmt.Printf("true at:  %d / %d points\n", tbl.Count(), tbl.Len())
+	if tbl.All() {
+		fmt.Println("verdict:  VALID")
+		return nil
+	}
+	fmt.Println("verdict:  not valid")
+	for idx := 0; idx < tbl.Len(); idx++ {
+		if !tbl.Get(idx) {
+			pt := sys.PointAt(idx)
+			run := sys.RunOf(pt)
+			fmt.Printf("fails at: time %d of run %d (cfg %s, %s)\n",
+				pt.Time, run.Index, run.Config, run.Pattern)
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+// Command ebarun executes one run of a protocol and prints the
+// decisions. It is the quickest way to watch the paper's protocols
+// behave under injected failures, on either engine.
+//
+// Usage examples:
+//
+//	ebarun -protocol p0opt -mode crash -config 0111 -silent 0@2
+//	ebarun -protocol chain0 -mode omission -config 0111 -except 0@2-3 -live
+//	ebarun -protocol floodset -config 1010
+//
+// Failure specs (comma-separated, all named processors are faulty):
+//
+//	-silent p@k     processor p sends nothing from round k on
+//	-except p@m-d   p is silent except one delivery to d in round m
+//	                (omission mode only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	eba "github.com/eventual-agreement/eba"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ebarun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		protoName = flag.String("protocol", "p0opt", "p0 | p1 | p0opt | chain0 | floodset")
+		modeName  = flag.String("mode", "crash", "crash | omission")
+		config    = flag.String("config", "0111", "initial values, one digit per processor")
+		tFlag     = flag.Int("t", -1, "fault bound (default: number of faulty processors, min 1)")
+		horizon   = flag.Int("h", 0, "rounds to run (default: t+2)")
+		silent    = flag.String("silent", "", "silent failures, e.g. 2@1,3@2")
+		except    = flag.String("except", "", "silent-except-one failures, e.g. 0@2-1")
+		live      = flag.Bool("live", false, "run on the goroutine transport instead of the deterministic engine")
+		verbose   = flag.Bool("verbose", false, "trace every round and message (deterministic engine only)")
+	)
+	flag.Parse()
+	if *verbose && *live {
+		return fmt.Errorf("-verbose requires the deterministic engine (drop -live)")
+	}
+
+	cfg, err := parseConfig(*config)
+	if err != nil {
+		return err
+	}
+	n := cfg.N()
+
+	var mode eba.Mode
+	switch *modeName {
+	case "crash":
+		mode = eba.Crash
+	case "omission":
+		mode = eba.Omission
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+
+	proto, err := pickProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+
+	specs, err := parseFailures(*silent, *except, n)
+	if err != nil {
+		return err
+	}
+	if len(specs.except) > 0 && mode != eba.Omission {
+		return fmt.Errorf("-except requires -mode omission")
+	}
+
+	t := *tFlag
+	if t < 0 {
+		t = len(specs.faulty)
+		if t == 0 {
+			t = 1
+		}
+	}
+	h := *horizon
+	if h == 0 {
+		h = t + 2
+	}
+
+	pat, err := buildPattern(mode, n, h, specs)
+	if err != nil {
+		return err
+	}
+
+	params := eba.Params{N: n, T: t}
+	engine := eba.Run
+	engineName := "deterministic engine"
+	if *live {
+		engine = eba.RunLive
+		engineName = "goroutine transport"
+	}
+	fmt.Printf("%s on %s | n=%d t=%d h=%d | config %s | %s\n",
+		proto.Name(), engineName, n, t, h, cfg, pat)
+
+	var tr *eba.Trace
+	if *verbose {
+		tr, err = eba.RunObserved(proto, params, cfg, pat, &eba.TextObserver{W: os.Stdout})
+	} else {
+		tr, err = engine(proto, params, cfg, pat)
+	}
+	if err != nil {
+		return err
+	}
+	for p := eba.ProcID(0); p < eba.ProcID(n); p++ {
+		status := "faulty"
+		if pat.Nonfaulty().Contains(p) {
+			status = "nonfaulty"
+		}
+		if v, at, ok := tr.DecisionOf(p); ok {
+			fmt.Printf("  proc %d (%s): decides %s at time %d\n", p, status, v, at)
+		} else {
+			fmt.Printf("  proc %d (%s): undecided by time %d\n", p, status, h)
+		}
+	}
+	if !tr.NonfaultyDecided() {
+		fmt.Println("  warning: some nonfaulty processor is undecided within the horizon")
+	}
+	return nil
+}
+
+func parseConfig(s string) (eba.Config, error) {
+	vals := make([]eba.Value, len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+			vals[i] = eba.Zero
+		case '1':
+			vals[i] = eba.One
+		default:
+			return nil, fmt.Errorf("config digit %q (want 0/1)", c)
+		}
+	}
+	return eba.NewConfig(vals...)
+}
+
+func pickProtocol(name string) (eba.Protocol, error) {
+	switch strings.ToLower(name) {
+	case "p0":
+		return eba.P0(), nil
+	case "p1":
+		return eba.P1(), nil
+	case "p0opt":
+		return eba.P0Opt(), nil
+	case "chain0":
+		return eba.Chain0(), nil
+	case "floodset":
+		return eba.FloodSet(), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+type failureSpecs struct {
+	faulty  map[eba.ProcID]bool
+	silents map[eba.ProcID]int // proc -> first silent round
+	except  map[eba.ProcID][2]int
+}
+
+func parseFailures(silent, except string, n int) (*failureSpecs, error) {
+	specs := &failureSpecs{
+		faulty:  make(map[eba.ProcID]bool),
+		silents: make(map[eba.ProcID]int),
+		except:  make(map[eba.ProcID][2]int),
+	}
+	addProc := func(p int) (eba.ProcID, error) {
+		if p < 0 || p >= n {
+			return 0, fmt.Errorf("processor %d out of range [0,%d)", p, n)
+		}
+		id := eba.ProcID(p)
+		if specs.faulty[id] {
+			return 0, fmt.Errorf("processor %d appears in two failure specs", p)
+		}
+		specs.faulty[id] = true
+		return id, nil
+	}
+	for _, part := range splitList(silent) {
+		var p, k int
+		if _, err := fmt.Sscanf(part, "%d@%d", &p, &k); err != nil {
+			return nil, fmt.Errorf("bad -silent entry %q (want p@k)", part)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("silent round %d < 1", k)
+		}
+		id, err := addProc(p)
+		if err != nil {
+			return nil, err
+		}
+		specs.silents[id] = k
+	}
+	for _, part := range splitList(except) {
+		var p, m, d int
+		if _, err := fmt.Sscanf(part, "%d@%d-%d", &p, &m, &d); err != nil {
+			return nil, fmt.Errorf("bad -except entry %q (want p@m-d)", part)
+		}
+		id, err := addProc(p)
+		if err != nil {
+			return nil, err
+		}
+		if d < 0 || d >= n {
+			return nil, fmt.Errorf("destination %d out of range", d)
+		}
+		if m < 1 {
+			return nil, fmt.Errorf("delivery round %d < 1", m)
+		}
+		specs.except[id] = [2]int{m, d}
+	}
+	return specs, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func buildPattern(mode eba.Mode, n, h int, specs *failureSpecs) (*eba.Pattern, error) {
+	var faulty eba.ProcSet
+	behavior := make(map[eba.ProcID]*eba.Behavior)
+	full := func(p eba.ProcID) eba.ProcSet {
+		var s eba.ProcSet
+		for q := 0; q < n; q++ {
+			if eba.ProcID(q) != p {
+				s = s.Add(eba.ProcID(q))
+			}
+		}
+		return s
+	}
+	for p, k := range specs.silents {
+		faulty = faulty.Add(p)
+		b := &eba.Behavior{Omit: make([]eba.ProcSet, h)}
+		for r := k; r <= h; r++ {
+			b.Omit[r-1] = full(p)
+		}
+		behavior[p] = b
+	}
+	for p, md := range specs.except {
+		faulty = faulty.Add(p)
+		b := &eba.Behavior{Omit: make([]eba.ProcSet, h)}
+		for r := 1; r <= h; r++ {
+			b.Omit[r-1] = full(p)
+			if r == md[0] {
+				b.Omit[r-1] = b.Omit[r-1].Remove(eba.ProcID(md[1]))
+			}
+		}
+		behavior[p] = b
+	}
+	return eba.NewPattern(mode, n, h, faulty, behavior)
+}

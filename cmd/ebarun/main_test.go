@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+
+	eba "github.com/eventual-agreement/eba"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := parseConfig("0110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() != 4 || cfg[0] != eba.Zero || cfg[1] != eba.One {
+		t.Fatalf("cfg = %v", cfg)
+	}
+	if _, err := parseConfig("01x0"); err == nil {
+		t.Fatal("bad digit accepted")
+	}
+	if _, err := parseConfig("1"); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestPickProtocol(t *testing.T) {
+	for _, name := range []string{"p0", "P1", "p0opt", "chain0", "floodset"} {
+		if _, err := pickProtocol(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := pickProtocol("nope"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestParseFailures(t *testing.T) {
+	specs, err := parseFailures("2@1,3@2", "0@2-1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs.faulty) != 3 || specs.silents[2] != 1 || specs.silents[3] != 2 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs.except[0] != [2]int{2, 1} {
+		t.Fatalf("except = %v", specs.except[0])
+	}
+	bad := []struct{ silent, except string }{
+		{"9@1", ""},      // out of range
+		{"1@0", ""},      // round < 1
+		{"x@1", ""},      // malformed
+		{"", "0@1-9"},    // dst out of range
+		{"", "0@0-1"},    // round < 1
+		{"", "junk"},     // malformed
+		{"1@1", "1@2-0"}, // duplicate processor
+	}
+	for _, b := range bad {
+		if _, err := parseFailures(b.silent, b.except, 4); err == nil {
+			t.Fatalf("accepted silent=%q except=%q", b.silent, b.except)
+		}
+	}
+}
+
+func TestBuildPattern(t *testing.T) {
+	specs, err := parseFailures("2@2", "0@1-3", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := buildPattern(eba.Omission, 4, 3, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Faulty() != eba.ProcSet(0b101) {
+		t.Fatalf("faulty = %v", pat.Faulty())
+	}
+	// Processor 2 silent from round 2.
+	if !pat.Delivers(2, 1, 0) || pat.Delivers(2, 2, 0) {
+		t.Fatal("silent schedule wrong")
+	}
+	// Processor 0 delivers only to 3 in round 1.
+	if !pat.Delivers(0, 1, 3) || pat.Delivers(0, 1, 1) || pat.Delivers(0, 2, 3) {
+		t.Fatal("except schedule wrong")
+	}
+}

@@ -1,0 +1,49 @@
+// Byzantinebound demonstrates the origin of the Byzantine agreement
+// problem ([PSL80] in the paper's introduction): the oral-messages
+// protocol EIGByz withstands arbitrary lying when n > 3t, and a
+// two-faced traitor splits three processors (n = 3t).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eba "github.com/eventual-agreement/eba"
+)
+
+func main() {
+	// n = 4, t = 1: processor 3 lies two-facedly; the three honest
+	// processors still agree.
+	fmt.Println("-- n = 4, t = 1 (n > 3t): the traitor fails")
+	adv := eba.TwoFacedAdversary(2, eba.Zero, eba.One)
+	proto := eba.EIGByz(1, eba.ProcSet(1)<<3, adv)
+	tr, err := eba.Run(proto, eba.Params{N: 4, T: 1},
+		eba.ConfigFromBits(4, 0b0111), eba.FailureFree(eba.Omission, 4, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := eba.ProcID(0); p < 3; p++ {
+		v, at, _ := tr.DecisionOf(p)
+		fmt.Printf("  honest %d decides %s at time %d\n", p, v, at)
+	}
+
+	// n = 3, t = 1: the same strategy splits the two honest
+	// processors — the classic impossibility. Traitor 0 tells
+	// processor 1 "zero" and processor 2 "one" while the honest
+	// processors both hold 1.
+	fmt.Println("-- n = 3, t = 1 (n = 3t): the traitor wins")
+	advSplit := eba.TwoFacedAdversary(2, eba.Zero, eba.One)
+	protoSplit := eba.EIGByz(1, eba.ProcSet(1)<<0, advSplit) // processor 0 is the traitor
+	tr, err = eba.Run(protoSplit, eba.Params{N: 3, T: 1},
+		eba.ConfigFromBits(3, 0b110), eba.FailureFree(eba.Omission, 3, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, _, _ := tr.DecisionOf(1)
+	v2, _, _ := tr.DecisionOf(2)
+	status := "agree"
+	if v1 != v2 {
+		status = "DISAGREE"
+	}
+	fmt.Printf("  honest 1 decides %s, honest 2 decides %s  (%s)\n", v1, v2, status)
+}

@@ -1,0 +1,3 @@
+module github.com/eventual-agreement/eba
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package byzantine implements the classic substrate the paper's
+// problem statement rests on: Byzantine agreement with fully
+// arbitrary (lying) faulty processors, as introduced by Pease, Shostak,
+// and Lamport (PSL80) — the [PSL80] of the paper's introduction. The
+// paper itself analyses crash and omission failures and conjectures
+// its techniques extend to the Byzantine case (Section 7); this
+// package provides the baseline algorithm and the classical bounds so
+// the repository covers the problem's origin:
+//
+//   - the exponential-information-gathering protocol EIGByz (t+1
+//     rounds, n > 3t), run on the same deterministic engine as every
+//     other protocol, with faulty processors driven by a pluggable
+//     Adversary that fabricates per-destination values;
+//   - the n = 3t counterexample: with three processors and one
+//     Byzantine traitor, a two-faced adversary forces honest
+//     processors to decide differently.
+package byzantine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// Adversary chooses what a Byzantine processor tells each destination
+// for each relay path. Implementations must be deterministic
+// functions of their arguments (runs stay reproducible).
+type Adversary interface {
+	// Corrupt returns the value faulty processor sender reports to
+	// dst for the EIG node path·sender, given the value an honest
+	// processor would have sent (Unset = omit the pair entirely).
+	Corrupt(sender, dst types.ProcID, path []types.ProcID, honest types.Value) types.Value
+}
+
+// TwoFaced is the classic splitting adversary: it reports tellLow to
+// destinations below the split and tellHigh to the rest, on every
+// path.
+type TwoFaced struct {
+	Split    types.ProcID
+	TellLow  types.Value
+	TellHigh types.Value
+}
+
+// Corrupt implements Adversary.
+func (a TwoFaced) Corrupt(_, dst types.ProcID, _ []types.ProcID, _ types.Value) types.Value {
+	if dst < a.Split {
+		return a.TellLow
+	}
+	return a.TellHigh
+}
+
+// ConstantLiar always reports V.
+type ConstantLiar struct{ V types.Value }
+
+// Corrupt implements Adversary.
+func (a ConstantLiar) Corrupt(types.ProcID, types.ProcID, []types.ProcID, types.Value) types.Value {
+	return a.V
+}
+
+// Mute omits everything (a Byzantine processor may also stay silent).
+type Mute struct{}
+
+// Corrupt implements Adversary.
+func (Mute) Corrupt(types.ProcID, types.ProcID, []types.ProcID, types.Value) types.Value {
+	return types.Unset
+}
+
+// PathFlipper lies depending on the parity of the path length plus
+// the destination, exercising path-dependent inconsistency.
+type PathFlipper struct{}
+
+// Corrupt implements Adversary.
+func (PathFlipper) Corrupt(_, dst types.ProcID, path []types.ProcID, _ types.Value) types.Value {
+	if (len(path)+int(dst))%2 == 0 {
+		return types.Zero
+	}
+	return types.One
+}
+
+// Protocol returns the EIGByz consensus protocol for the given fault
+// bound and Byzantine set: processors in byz follow the adversary,
+// everyone else runs exponential information gathering for t+1 rounds
+// and decides by recursive majority (default 0). Run it with a
+// failure-free pattern of horizon ≥ t+1 — Byzantine misbehaviour is
+// content fabrication, not network omission.
+func Protocol(t int, byz types.ProcSet, adv Adversary) sim.Protocol {
+	return eigProtocol{t: t, byz: byz, adv: adv}
+}
+
+type eigProtocol struct {
+	t   int
+	byz types.ProcSet
+	adv Adversary
+}
+
+func (p eigProtocol) Name() string {
+	return fmt.Sprintf("EIGByz(t=%d, byz=%s)", p.t, p.byz)
+}
+
+// eigMsg carries (path, value) pairs keyed by the canonical path
+// label.
+type eigMsg map[string]types.Value
+
+func (p eigProtocol) New(env sim.Env) sim.Process {
+	base := &eigProc{env: env, t: p.t, vals: map[string]types.Value{"": env.Initial}}
+	if p.byz.Contains(env.ID) {
+		return &byzProc{inner: base, adv: p.adv}
+	}
+	return base
+}
+
+// pathKey encodes a path of processor IDs.
+func pathKey(path []types.ProcID) string {
+	var b strings.Builder
+	for _, p := range path {
+		fmt.Fprintf(&b, "%d,", p)
+	}
+	return b.String()
+}
+
+func keyPath(key string) []types.ProcID {
+	if key == "" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimSuffix(key, ","), ",")
+	out := make([]types.ProcID, len(parts))
+	for i, s := range parts {
+		var v int
+		fmt.Sscanf(s, "%d", &v)
+		out[i] = types.ProcID(v)
+	}
+	return out
+}
+
+// eigProc is an honest EIG processor.
+type eigProc struct {
+	env  sim.Env
+	t    int
+	vals map[string]types.Value
+
+	decided bool
+	value   types.Value
+}
+
+// levelPairs collects the (path, value) pairs of level r-1 that a
+// sender relays in round r (paths not containing the sender).
+func (p *eigProc) levelPairs(r types.Round) eigMsg {
+	out := make(eigMsg)
+	for key, v := range p.vals {
+		path := keyPath(key)
+		if len(path) != int(r)-1 || onPath(path, p.env.ID) {
+			continue
+		}
+		out[key] = v
+	}
+	return out
+}
+
+func (p *eigProc) Send(r types.Round) []sim.Message {
+	if int(r) > p.t+1 {
+		return nil
+	}
+	pairs := p.levelPairs(r)
+	// Self-application: a processor trusts its own relay.
+	for key, v := range pairs {
+		p.vals[key+fmt.Sprintf("%d,", p.env.ID)] = v
+	}
+	out := make([]sim.Message, p.env.Params.N)
+	for i := range out {
+		out[i] = pairs
+	}
+	return out
+}
+
+func (p *eigProc) Receive(r types.Round, msgs []sim.Message) {
+	if int(r) > p.t+1 {
+		return
+	}
+	for j, m := range msgs {
+		sender := types.ProcID(j)
+		if m == nil || sender == p.env.ID {
+			continue
+		}
+		for key, v := range m.(eigMsg) {
+			path := keyPath(key)
+			if len(path) != int(r)-1 || onPath(path, sender) || !distinct(path) || !v.Valid() {
+				continue
+			}
+			p.vals[key+fmt.Sprintf("%d,", sender)] = v
+		}
+	}
+	if int(r) == p.t+1 && !p.decided {
+		p.decided = true
+		p.value = p.resolve(nil)
+	}
+}
+
+func (p *eigProc) Decided() (types.Value, bool) {
+	if !p.decided {
+		return types.Unset, false
+	}
+	return p.value, true
+}
+
+// resolve computes the recursive majority newval(w) with default 0.
+func (p *eigProc) resolve(path []types.ProcID) types.Value {
+	if len(path) == p.t+1 {
+		if v, ok := p.vals[pathKey(path)]; ok {
+			return v
+		}
+		return types.Zero
+	}
+	counts := [2]int{}
+	children := 0
+	for q := 0; q < p.env.Params.N; q++ {
+		qp := types.ProcID(q)
+		if onPath(path, qp) {
+			continue
+		}
+		children++
+		child := append(append([]types.ProcID(nil), path...), qp)
+		counts[p.resolve(child)]++
+	}
+	if counts[types.One]*2 > children {
+		return types.One
+	}
+	if counts[types.Zero]*2 > children {
+		return types.Zero
+	}
+	return types.Zero // default on ties
+}
+
+func onPath(path []types.ProcID, q types.ProcID) bool {
+	for _, p := range path {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+func distinct(path []types.ProcID) bool {
+	seen := map[types.ProcID]bool{}
+	for _, p := range path {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// byzProc is a Byzantine processor: it gathers information honestly
+// (to have plausible values to corrupt) but sends whatever the
+// adversary dictates, per destination.
+type byzProc struct {
+	inner *eigProc
+	adv   Adversary
+}
+
+func (p *byzProc) Send(r types.Round) []sim.Message {
+	if int(r) > p.inner.t+1 {
+		return nil
+	}
+	honest := p.inner.levelPairs(r)
+	n := p.inner.env.Params.N
+	out := make([]sim.Message, n)
+	for dst := 0; dst < n; dst++ {
+		if types.ProcID(dst) == p.inner.env.ID {
+			continue
+		}
+		msg := make(eigMsg, len(honest))
+		for key, hv := range honest {
+			v := p.adv.Corrupt(p.inner.env.ID, types.ProcID(dst), keyPath(key), hv)
+			if v.Valid() {
+				msg[key] = v
+			}
+		}
+		out[dst] = msg
+	}
+	return out
+}
+
+func (p *byzProc) Receive(r types.Round, msgs []sim.Message) { p.inner.Receive(r, msgs) }
+
+// Decided reports no decision: a Byzantine processor's output is
+// meaningless and excluded from every property.
+func (p *byzProc) Decided() (types.Value, bool) { return types.Unset, false }
+
+// Check runs EIGByz on one configuration against one adversary and
+// reports the honest processors' decisions.
+func Check(n, t int, byz types.ProcSet, adv Adversary, cfg types.Config) (map[types.ProcID]types.Value, error) {
+	params := types.Params{N: n, T: t}
+	pat := failures.FailureFree(failures.Omission, n, t+1)
+	tr, err := sim.Run(Protocol(t, byz, adv), params, cfg, pat)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[types.ProcID]types.Value)
+	for q := 0; q < n; q++ {
+		qp := types.ProcID(q)
+		if byz.Contains(qp) {
+			continue
+		}
+		v, _, ok := tr.DecisionOf(qp)
+		if !ok {
+			return nil, fmt.Errorf("byzantine: honest processor %d undecided", q)
+		}
+		out[qp] = v
+	}
+	return out, nil
+}
+
+// Agreement reports whether all honest processors decided alike, and
+// the (sorted) set of decided values.
+func Agreement(dec map[types.ProcID]types.Value) (bool, []types.Value) {
+	seen := map[types.Value]bool{}
+	for _, v := range dec {
+		seen[v] = true
+	}
+	var vals []types.Value
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return len(vals) <= 1, vals
+}

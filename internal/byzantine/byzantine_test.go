@@ -1,0 +1,150 @@
+package byzantine
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// adversaries is the strategy battery the positive tests sweep.
+func adversaries() map[string]Adversary {
+	return map[string]Adversary{
+		"two-faced@2":  TwoFaced{Split: 2, TellLow: types.Zero, TellHigh: types.One},
+		"two-faced@1":  TwoFaced{Split: 1, TellLow: types.One, TellHigh: types.Zero},
+		"constant-0":   ConstantLiar{V: types.Zero},
+		"constant-1":   ConstantLiar{V: types.One},
+		"mute":         Mute{},
+		"path-flipper": PathFlipper{},
+	}
+}
+
+// With n > 3t, EIGByz achieves agreement and validity among the
+// honest processors against every strategy in the battery, every
+// Byzantine seat, and every configuration.
+func TestEIGByzCorrectWhenNGreater3T(t *testing.T) {
+	const n, tt = 4, 1
+	for name, adv := range adversaries() {
+		for b := 0; b < n; b++ {
+			byz := types.Singleton(types.ProcID(b))
+			for mask := uint64(0); mask < 1<<n; mask++ {
+				cfg := types.ConfigFromBits(n, mask)
+				dec, err := Check(n, tt, byz, adv, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ok, vals := Agreement(dec)
+				if !ok {
+					t.Fatalf("%s byz=%d cfg=%s: agreement violated (%v)", name, b, cfg, vals)
+				}
+				// Validity: if all honest processors share an input,
+				// they must decide it.
+				var want types.Value = types.Unset
+				same := true
+				for q := 0; q < n; q++ {
+					if byz.Contains(types.ProcID(q)) {
+						continue
+					}
+					if want == types.Unset {
+						want = cfg[q]
+					} else if cfg[q] != want {
+						same = false
+					}
+				}
+				if same && len(vals) == 1 && vals[0] != want {
+					t.Fatalf("%s byz=%d cfg=%s: validity violated (decided %v, want %v)",
+						name, b, cfg, vals[0], want)
+				}
+			}
+		}
+	}
+}
+
+// With n = 7, t = 2 and two colluding Byzantine processors the
+// protocol still holds (n > 3t).
+func TestEIGByzTwoTraitors(t *testing.T) {
+	const n, tt = 7, 2
+	byz := types.SetOf(1, 4)
+	for name, adv := range adversaries() {
+		for _, mask := range []uint64{0, 0x7f, 0x2a, 0x55} {
+			cfg := types.ConfigFromBits(n, mask)
+			dec, err := Check(n, tt, byz, adv, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, vals := Agreement(dec); !ok {
+				t.Fatalf("%s cfg=%s: agreement violated (%v)", name, cfg, vals)
+			}
+		}
+	}
+}
+
+// The PSL80 impossibility shape: with n = 3, t = 1 a two-faced
+// traitor splits the honest processors.
+func TestEIGByzFailsAtN3T1(t *testing.T) {
+	violated := false
+	for b := 0; b < 3 && !violated; b++ {
+		byz := types.Singleton(types.ProcID(b))
+		for mask := uint64(0); mask < 8 && !violated; mask++ {
+			cfg := types.ConfigFromBits(3, mask)
+			for split := types.ProcID(0); split < 3; split++ {
+				adv := TwoFaced{Split: split, TellLow: types.Zero, TellHigh: types.One}
+				dec, err := Check(3, 1, byz, adv, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok, _ := Agreement(dec); !ok {
+					violated = true
+					break
+				}
+			}
+		}
+	}
+	if !violated {
+		t.Fatal("n = 3t should admit an agreement-violating adversary")
+	}
+}
+
+// Without Byzantine processors the protocol is just a t+1-round
+// consensus: decisions equal the majority resolution of the true
+// configuration, and unanimity is preserved.
+func TestEIGByzFailureFree(t *testing.T) {
+	dec, err := Check(4, 1, types.EmptySet, Mute{}, types.ConfigFromBits(4, 0b1111))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, vals := Agreement(dec)
+	if !ok || len(vals) != 1 || vals[0] != types.One {
+		t.Fatalf("unanimous ones: %v %v", ok, vals)
+	}
+	if len(dec) != 4 {
+		t.Fatalf("all four processors should decide, got %d", len(dec))
+	}
+}
+
+func TestPathKeyRoundTrip(t *testing.T) {
+	paths := [][]types.ProcID{nil, {0}, {3, 1}, {2, 0, 5}}
+	for _, p := range paths {
+		got := keyPath(pathKey(p))
+		if len(got) != len(p) {
+			t.Fatalf("round trip length %v -> %v", p, got)
+		}
+		for i := range p {
+			if got[i] != p[i] {
+				t.Fatalf("round trip %v -> %v", p, got)
+			}
+		}
+	}
+	if !distinct([]types.ProcID{1, 2}) || distinct([]types.ProcID{1, 1}) {
+		t.Fatal("distinct wrong")
+	}
+	if !onPath([]types.ProcID{1, 2}, 2) || onPath([]types.ProcID{1}, 0) {
+		t.Fatal("onPath wrong")
+	}
+}
+
+func TestProtocolName(t *testing.T) {
+	p := Protocol(1, types.SetOf(2), Mute{})
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+}

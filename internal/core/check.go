@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// CheckWeakAgreement verifies condition 2′ of Section 2.1 on every
+// run: nonfaulty processors do not decide on different values.
+func CheckWeakAgreement(sys *system.System, p fip.Pair) error {
+	for _, run := range sys.Runs {
+		var saw [2]bool
+		var who [2]types.ProcID
+		for _, proc := range run.Nonfaulty().Members() {
+			v, _, ok := fip.DecisionAt(sys, p, run, proc)
+			if !ok {
+				continue
+			}
+			saw[v] = true
+			who[v] = proc
+		}
+		if saw[0] && saw[1] {
+			return fmt.Errorf("core: %s violates weak agreement in run %d (cfg %s, %s): %d decides 0, %d decides 1",
+				p.Name, run.Index, run.Config, run.Pattern, who[0], who[1])
+		}
+	}
+	return nil
+}
+
+// CheckWeakValidity verifies condition 3′: when all initial values
+// are identical, nonfaulty processors that decide, decide that value.
+func CheckWeakValidity(sys *system.System, p fip.Pair) error {
+	for _, run := range sys.Runs {
+		v, same := run.Config.AllEqual()
+		if !same {
+			continue
+		}
+		for _, proc := range run.Nonfaulty().Members() {
+			got, at, ok := fip.DecisionAt(sys, p, run, proc)
+			if ok && got != v {
+				return fmt.Errorf("core: %s violates weak validity in run %d (cfg %s, %s): %d decides %s at %d",
+					p.Name, run.Index, run.Config, run.Pattern, proc, got, at)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDecision verifies the decision condition of EBA within the
+// enumerated horizon: every nonfaulty processor decides by time H.
+func CheckDecision(sys *system.System, p fip.Pair) error {
+	for _, run := range sys.Runs {
+		for _, proc := range run.Nonfaulty().Members() {
+			if _, _, ok := fip.DecisionAt(sys, p, run, proc); !ok {
+				return fmt.Errorf("core: %s: nonfaulty processor %d never decides in run %d (cfg %s, %s)",
+					p.Name, proc, run.Index, run.Config, run.Pattern)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckEBA verifies all three EBA conditions (decision, agreement,
+// validity restricted to deciders; with decision, weak validity is
+// full validity).
+func CheckEBA(sys *system.System, p fip.Pair) error {
+	if err := CheckDecision(sys, p); err != nil {
+		return err
+	}
+	if err := CheckWeakAgreement(sys, p); err != nil {
+		return err
+	}
+	return CheckWeakValidity(sys, p)
+}
+
+// CheckUniformAgreement verifies the stronger, uniform variant of
+// agreement discussed in Section 7 (cf. Neiger/Bazzi): no two
+// processors — faulty or not — decide on different values. The
+// paper's protocols are not designed for it; the E16 experiment shows
+// where it breaks.
+func CheckUniformAgreement(sys *system.System, p fip.Pair) error {
+	for _, run := range sys.Runs {
+		var saw [2]bool
+		var who [2]types.ProcID
+		for proc := 0; proc < sys.Params.N; proc++ {
+			id := types.ProcID(proc)
+			v, at, ok := fip.DecisionAt(sys, p, run, id)
+			if !ok {
+				continue
+			}
+			// In the crash mode a processor is only guaranteed alive
+			// strictly before its crash round; later states are
+			// virtual and their decisions do not count.
+			if sys.Mode == failures.Crash {
+				if crash, crashed := run.Pattern.FirstOmission(id); crashed && at >= crash {
+					continue
+				}
+			}
+			saw[v] = true
+			who[v] = id
+		}
+		if saw[0] && saw[1] {
+			return fmt.Errorf("core: %s violates uniform agreement in run %d (cfg %s, %s): %d decides 0, %d decides 1",
+				p.Name, run.Index, run.Config, run.Pattern, who[0], who[1])
+		}
+	}
+	return nil
+}
+
+// Dominates reports whether a dominates b on the system: every
+// nonfaulty processor that decides in a run of b decides at least as
+// soon in the corresponding run of a (Section 2.3). Corresponding
+// runs share an index because both pairs run over the same system.
+func Dominates(sys *system.System, a, b fip.Pair) bool {
+	for _, run := range sys.Runs {
+		for _, proc := range run.Nonfaulty().Members() {
+			_, bAt, bOK := fip.DecisionAt(sys, b, run, proc)
+			if !bOK {
+				continue
+			}
+			_, aAt, aOK := fip.DecisionAt(sys, a, run, proc)
+			if !aOK || aAt > bAt {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StrictlyDominates reports whether a dominates b and some nonfaulty
+// processor decides sooner under a in some run (deciding at all when
+// b never decides counts as sooner).
+func StrictlyDominates(sys *system.System, a, b fip.Pair) bool {
+	if !Dominates(sys, a, b) {
+		return false
+	}
+	for _, run := range sys.Runs {
+		for _, proc := range run.Nonfaulty().Members() {
+			_, aAt, aOK := fip.DecisionAt(sys, a, run, proc)
+			if !aOK {
+				continue
+			}
+			_, bAt, bOK := fip.DecisionAt(sys, b, run, proc)
+			if !bOK || aAt < bAt {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsOptimal applies the characterization of Theorem 5.3: a
+// full-information nontrivial agreement protocol FIP(𝒵, 𝒪) is optimal
+// iff for every processor i,
+//
+//	i ∈ 𝒩 ⇒ (decide_i(0) ⟺ B^N_i(∃0 ∧ C□_{𝒩∧𝒪}∃0 ∧ ¬decide_i(1)))
+//	i ∈ 𝒩 ⇒ (decide_i(1) ⟺ B^N_i(∃1 ∧ C□_{𝒩∧𝒵}∃1 ∧ ¬decide_i(0)))
+//
+// are valid in the system. It returns a counterexample description
+// when the conditions fail.
+func IsOptimal(e *knowledge.Evaluator, p fip.Pair) (bool, string) {
+	nf := knowledge.Nonfaulty()
+	nAndO := NAnd(p.O)
+	nAndZ := NAnd(p.Z)
+	sys := e.System()
+	for i := 0; i < sys.Params.N; i++ {
+		proc := types.ProcID(i)
+		d0 := DecideAtom(p, proc, types.Zero)
+		d1 := DecideAtom(p, proc, types.One)
+		condA := knowledge.Implies(knowledge.IsNonfaulty(proc),
+			knowledge.Iff(d0, knowledge.B(proc, nf, knowledge.And(
+				knowledge.Exists0(),
+				knowledge.CBox(nAndO, knowledge.Exists0()),
+				knowledge.Not(d1),
+			))))
+		if pt, bad := e.FailingPoint(condA); bad {
+			return false, describeFailure(sys, p.Name, "0-condition", proc, pt)
+		}
+		condB := knowledge.Implies(knowledge.IsNonfaulty(proc),
+			knowledge.Iff(d1, knowledge.B(proc, nf, knowledge.And(
+				knowledge.Exists1(),
+				knowledge.CBox(nAndZ, knowledge.Exists1()),
+				knowledge.Not(d0),
+			))))
+		if pt, bad := e.FailingPoint(condB); bad {
+			return false, describeFailure(sys, p.Name, "1-condition", proc, pt)
+		}
+	}
+	return true, ""
+}
+
+func describeFailure(sys *system.System, name, cond string, proc types.ProcID, pt system.Point) string {
+	run := sys.RunOf(pt)
+	return fmt.Sprintf("%s fails Theorem 5.3 %s for processor %d at time %d of run %d (cfg %s, %s)",
+		name, cond, proc, pt.Time, run.Index, run.Config, run.Pattern)
+}
+
+// MaxNonfaultyDecisionRound returns the largest decision time of any
+// nonfaulty processor across the system, and whether every nonfaulty
+// processor decided.
+func MaxNonfaultyDecisionRound(sys *system.System, p fip.Pair) (types.Round, bool) {
+	var max types.Round
+	all := true
+	for _, run := range sys.Runs {
+		for _, proc := range run.Nonfaulty().Members() {
+			_, at, ok := fip.DecisionAt(sys, p, run, proc)
+			if !ok {
+				all = false
+				continue
+			}
+			if at > max {
+				max = at
+			}
+		}
+	}
+	return max, all
+}
+
+// DecisionHistogram counts nonfaulty decisions per decision time.
+// Undecided nonfaulty processors are counted under the key -1.
+func DecisionHistogram(sys *system.System, p fip.Pair) map[types.Round]int {
+	h := make(map[types.Round]int)
+	for _, run := range sys.Runs {
+		for _, proc := range run.Nonfaulty().Members() {
+			_, at, ok := fip.DecisionAt(sys, p, run, proc)
+			if !ok {
+				at = -1
+			}
+			h[at]++
+		}
+	}
+	return h
+}
+
+// FMaxDecisionBound returns, for each number f of visibly faulty
+// processors occurring in the system, the maximum decision time of a
+// nonfaulty processor in runs with exactly f visible failures — the
+// quantity bounded by f+1 in Proposition 6.4.
+func FMaxDecisionBound(sys *system.System, p fip.Pair) map[int]types.Round {
+	out := make(map[int]types.Round)
+	for _, run := range sys.Runs {
+		f := run.Pattern.VisiblyFaulty().Len()
+		for _, proc := range run.Nonfaulty().Members() {
+			_, at, ok := fip.DecisionAt(sys, p, run, proc)
+			if !ok {
+				at = types.Round(sys.Horizon + 1) // sentinel: undecided
+			}
+			if at > out[f] {
+				out[f] = at
+			}
+		}
+	}
+	return out
+}

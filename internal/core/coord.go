@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// Spec is a one-shot binary coordination problem in the sense of the
+// paper's Section 7 ("it is straightforward to extend our results to
+// general coordination problems along the lines of [MT88]"): two
+// actions, here still written 0 and 1, with enabling facts — action v
+// may be performed only in runs where Phi(v) holds. EBA is the
+// instance Phi(0) = ∃0, Phi(1) = ∃1. The enabling facts must be
+// run-constant (their truth may not vary with time), which the
+// constructions rely on; NewSpec checks this against a system.
+type Spec struct {
+	Name string
+	Phi0 knowledge.Formula
+	Phi1 knowledge.Formula
+}
+
+// EBASpec is the paper's standard instance.
+func EBASpec() Spec {
+	return Spec{Name: "EBA", Phi0: knowledge.Exists0(), Phi1: knowledge.Exists1()}
+}
+
+// Phi returns the enabling fact for action v.
+func (s Spec) Phi(v types.Value) knowledge.Formula {
+	if v == types.Zero {
+		return s.Phi0
+	}
+	return s.Phi1
+}
+
+// Validate checks the spec against a system: both enabling facts must
+// be run-constant, and in every run at least one action must be
+// enabled (otherwise no protocol can satisfy the decision property).
+func (s Spec) Validate(e *knowledge.Evaluator) error {
+	for _, phi := range []knowledge.Formula{s.Phi0, s.Phi1} {
+		if !e.Valid(knowledge.Iff(phi, knowledge.Box(phi))) {
+			return fmt.Errorf("core: spec %s: enabling fact %s is not run-constant", s.Name, phi)
+		}
+	}
+	if !e.Valid(knowledge.Or(s.Phi0, s.Phi1)) {
+		return fmt.Errorf("core: spec %s: some run enables no action", s.Name)
+	}
+	return nil
+}
+
+// PrimeStepSpec generalizes PrimeStep to an arbitrary coordination
+// spec: 𝒵′_i = B^N_i(Φ₀ ∧ C□_{𝒩∧𝒪}Φ₀), 𝒪′_i = B^N_i(Φ₁ ∧ ¬C□_{𝒩∧𝒪}Φ₀).
+func PrimeStepSpec(e *knowledge.Evaluator, spec Spec, p fip.Pair, name string) fip.Pair {
+	nf := knowledge.Nonfaulty()
+	cbox := knowledge.CBox(NAnd(p.O), spec.Phi0)
+	zInner := knowledge.And(spec.Phi0, cbox)
+	oInner := knowledge.And(spec.Phi1, knowledge.Not(cbox))
+	return PairFromFormulas(e, name,
+		func(i types.ProcID) knowledge.Formula { return knowledge.B(i, nf, zInner) },
+		func(i types.ProcID) knowledge.Formula { return knowledge.B(i, nf, oInner) },
+	)
+}
+
+// DoublePrimeStepSpec generalizes DoublePrimeStep.
+func DoublePrimeStepSpec(e *knowledge.Evaluator, spec Spec, p fip.Pair, name string) fip.Pair {
+	nf := knowledge.Nonfaulty()
+	cbox := knowledge.CBox(NAnd(p.Z), spec.Phi1)
+	zInner := knowledge.And(spec.Phi0, knowledge.Not(cbox))
+	oInner := knowledge.And(spec.Phi1, cbox)
+	return PairFromFormulas(e, name,
+		func(i types.ProcID) knowledge.Formula { return knowledge.B(i, nf, zInner) },
+		func(i types.ProcID) knowledge.Formula { return knowledge.B(i, nf, oInner) },
+	)
+}
+
+// TwoStepSpec is the Theorem 5.2 construction for the spec.
+func TwoStepSpec(e *knowledge.Evaluator, spec Spec, p fip.Pair) fip.Pair {
+	f1 := PrimeStepSpec(e, spec, p, p.Name+"¹")
+	return DoublePrimeStepSpec(e, spec, f1, p.Name+"²")
+}
+
+// CheckEnabling verifies the generalized weak validity: a nonfaulty
+// processor decides v only in runs where Φ_v holds.
+func CheckEnabling(e *knowledge.Evaluator, spec Spec, p fip.Pair) error {
+	sys := e.System()
+	phi0 := e.Eval(spec.Phi0)
+	phi1 := e.Eval(spec.Phi1)
+	for _, run := range sys.Runs {
+		idx := sys.PointIndex(system.Point{Run: run.Index, Time: 0})
+		for _, proc := range run.Nonfaulty().Members() {
+			v, at, ok := fip.DecisionAt(sys, p, run, proc)
+			if !ok {
+				continue
+			}
+			enabled := phi1.Get(idx)
+			if v == types.Zero {
+				enabled = phi0.Get(idx)
+			}
+			if !enabled {
+				return fmt.Errorf("core: %s violates enabling for spec %s: processor %d decides %s at %d in run %d (cfg %s, %s)",
+					p.Name, spec.Name, proc, v, at, run.Index, run.Config, run.Pattern)
+			}
+		}
+	}
+	return nil
+}
+
+// IsOptimalSpec is the Theorem 5.3 characterization for the spec.
+func IsOptimalSpec(e *knowledge.Evaluator, spec Spec, p fip.Pair) (bool, string) {
+	nf := knowledge.Nonfaulty()
+	nAndO := NAnd(p.O)
+	nAndZ := NAnd(p.Z)
+	sys := e.System()
+	for i := 0; i < sys.Params.N; i++ {
+		proc := types.ProcID(i)
+		d0 := DecideAtom(p, proc, types.Zero)
+		d1 := DecideAtom(p, proc, types.One)
+		condA := knowledge.Implies(knowledge.IsNonfaulty(proc),
+			knowledge.Iff(d0, knowledge.B(proc, nf, knowledge.And(
+				spec.Phi0, knowledge.CBox(nAndO, spec.Phi0), knowledge.Not(d1)))))
+		if pt, bad := e.FailingPoint(condA); bad {
+			return false, describeFailure(sys, p.Name, "0-condition", proc, pt)
+		}
+		condB := knowledge.Implies(knowledge.IsNonfaulty(proc),
+			knowledge.Iff(d1, knowledge.B(proc, nf, knowledge.And(
+				spec.Phi1, knowledge.CBox(nAndZ, spec.Phi1), knowledge.Not(d0)))))
+		if pt, bad := e.FailingPoint(condB); bad {
+			return false, describeFailure(sys, p.Name, "1-condition", proc, pt)
+		}
+	}
+	return true, ""
+}

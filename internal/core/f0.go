@@ -1,0 +1,34 @@
+package core
+
+import (
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// F0Pair materializes the Section 3.2 protocol F₀, the paper's
+// motivating example of why eventual common knowledge is the wrong
+// tool: a processor decides 0 when it believes ∃0 is eventual common
+// knowledge, and decides 1 only when it believes both that ∃1 is
+// eventual common knowledge and that ∃0 can never become one —
+//
+//	𝒵_i = B^N_i C◇_𝒩 ∃0
+//	𝒪_i = B^N_i (C◇_𝒩 ∃1 ∧ □ ¬C◇_𝒩 ∃0)
+//
+// F₀ is a nontrivial agreement protocol, but its 1-decisions are far
+// from optimal; the two-step construction strictly improves it (the
+// E14 experiment). On finite-horizon systems the future modalities are
+// evaluated over the enumerated prefix, which can only make the
+// □-guarded 1-decision *more* eager, so the agreement checks below
+// are conservative.
+func F0Pair(e *knowledge.Evaluator) fip.Pair {
+	nf := knowledge.Nonfaulty()
+	cd0 := knowledge.CDiamond(nf, knowledge.Exists0())
+	cd1 := knowledge.CDiamond(nf, knowledge.Exists1())
+	zInner := cd0
+	oInner := knowledge.And(cd1, knowledge.Henceforth(knowledge.Not(cd0)))
+	return PairFromFormulas(e, "F0",
+		func(i types.ProcID) knowledge.Formula { return knowledge.B(i, nf, zInner) },
+		func(i types.ProcID) knowledge.Formula { return knowledge.B(i, nf, oInner) },
+	)
+}

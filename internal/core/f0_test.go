@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+)
+
+// Section 3.2: F0 (the eventual-common-knowledge rule) is a
+// nontrivial agreement protocol, and the two-step construction
+// produces a protocol dominating it.
+func TestF0IsNontrivialAgreementAndImprovable(t *testing.T) {
+	for _, mode := range []failures.Mode{failures.Crash, failures.Omission} {
+		sys := enum(t, 3, 1, mode, 3)
+		e := knowledge.NewEvaluator(sys)
+		f0 := F0Pair(e)
+
+		if err := CheckWeakAgreement(sys, f0); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := CheckWeakValidity(sys, f0); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := fip.Monotone(sys, f0); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+
+		f2 := TwoStep(e, f0)
+		if !Dominates(sys, f2, f0) {
+			t.Fatalf("%v: TwoStep(F0) must dominate F0", mode)
+		}
+		if err := CheckWeakAgreement(sys, f2); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if ok, reason := IsOptimal(e, f2); !ok {
+			t.Fatalf("%v: TwoStep(F0) should be optimal: %s", mode, reason)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// Proposition 4.1: decisions are local and mutually exclusive. At
+// nonfaulty states the decision sets never overlap, and a processor
+// always knows its own decision status.
+func TestProp41DecisionFacts(t *testing.T) {
+	sys := enum(t, 3, 1, failures.Crash, 2)
+	e := knowledge.NewEvaluator(sys)
+	p0opt := func() fip.Pair {
+		return fip.Pair{
+			Name: "P0opt",
+			Z: fip.FromPred("Z", func(in *views.Interner, id views.ID) bool {
+				return in.Knows(id, types.Zero)
+			}),
+			O: fip.FromPred("O", func(in *views.Interner, id views.ID) bool {
+				return int(in.Time(id)) >= 2 && !in.Knows(id, types.Zero)
+			}),
+		}
+	}()
+	for i := types.ProcID(0); i < 3; i++ {
+		d0 := DecideAtom(p0opt, i, types.Zero)
+		d1 := DecideAtom(p0opt, i, types.One)
+		// (a) mutual exclusion (at nonfaulty states; vacuous-belief
+		// overlap can only occur at states whose owner knows itself
+		// faulty).
+		mutex := knowledge.Implies(knowledge.IsNonfaulty(i), knowledge.Not(knowledge.And(d0, d1)))
+		if !e.Valid(mutex) {
+			t.Fatalf("Prop 4.1(a) fails for processor %d", i)
+		}
+		// (b) decisions are known: K_i decide_i(y) ⟺ decide_i(y).
+		for _, d := range []knowledge.Formula{d0, d1} {
+			if !e.Valid(knowledge.Iff(knowledge.K(i, d), d)) {
+				t.Fatalf("Prop 4.1(b) fails for processor %d", i)
+			}
+			if !e.Valid(knowledge.Iff(knowledge.K(i, knowledge.Not(d)), knowledge.Not(d))) {
+				t.Fatalf("Prop 4.1(b) negative fails for processor %d", i)
+			}
+		}
+	}
+}
+
+// Proposition 4.4: a pair with decide_i(0) ⇒ B^N_i ∃0 and
+// decide_i(1) ⟺ B^N_i(∃1 ∧ C□_{𝒩∧𝒵}∃1) is a nontrivial agreement
+// protocol. The hypotheses are self-referential — the ⟺ together with
+// mutual exclusion constrains 𝒵 itself — so the test constructs
+// hypothesis-satisfying pairs by the decreasing fixed-point iteration
+//
+//	𝒵_0 = zr,  𝒵_{k+1} = zr ∧ ¬B^N(∃1 ∧ C□_{𝒩∧𝒵_k}∃1)
+//
+// (monotone on the finite lattice, so it converges) and then checks
+// the proposition's conclusion for several seed 0-rules in both
+// failure modes.
+func TestProp44SufficientCondition(t *testing.T) {
+	zeroRules := []struct {
+		name string
+		pred func(in *views.Interner, id views.ID) bool
+	}{
+		{"knows0", func(in *views.Interner, id views.ID) bool {
+			return in.Knows(id, types.Zero)
+		}},
+		{"chain-endpoint", func(in *views.Interner, id views.ID) bool {
+			return in.BelievesExistsZeroStar(id)
+		}},
+		{"knows0-late", func(in *views.Interner, id views.ID) bool {
+			return in.Time(id) >= 1 && in.Knows(id, types.Zero)
+		}},
+	}
+	for _, mode := range []failures.Mode{failures.Crash, failures.Omission} {
+		sys := enum(t, 3, 1, mode, 2)
+		e := knowledge.NewEvaluator(sys)
+		nf := knowledge.Nonfaulty()
+		for _, zr := range zeroRules {
+			// Iterate to the fixed point.
+			zSet := fip.DecisionSet(fip.FromPred("Z0:"+zr.name, zr.pred))
+			var pair fip.Pair
+			converged := false
+			for iter := 0; iter < 8; iter++ {
+				oInner := knowledge.And(knowledge.Exists1(),
+					knowledge.CBox(NAnd(zSet), knowledge.Exists1()))
+				next := PairFromFormulas(e, "prop44-"+zr.name,
+					func(i types.ProcID) knowledge.Formula {
+						return knowledge.And(knowledge.ViewAtom("z", i, zr.pred),
+							knowledge.Not(knowledge.B(i, nf, oInner)))
+					},
+					func(i types.ProcID) knowledge.Formula { return knowledge.B(i, nf, oInner) },
+				)
+				if pair.Z != nil && EqualOn(sys, pair, next) {
+					converged = true
+					break
+				}
+				pair = next
+				zSet = pair.Z
+			}
+			if !converged {
+				t.Fatalf("%v/%s: fixed point not reached", mode, zr.name)
+			}
+			if err := CheckWeakAgreement(sys, pair); err != nil {
+				t.Fatalf("%v/%s: %v", mode, zr.name, err)
+			}
+			if err := CheckWeakValidity(sys, pair); err != nil {
+				t.Fatalf("%v/%s: %v", mode, zr.name, err)
+			}
+		}
+	}
+}
+
+// Uniform agreement (Section 7 discussion): the paper's EBA protocols
+// satisfy weak agreement but not the uniform variant — a faulty
+// processor may decide 0 on a value it then takes to the grave.
+func TestUniformAgreementSeparation(t *testing.T) {
+	crash := enum(t, 3, 1, failures.Crash, 3)
+	p0opt := fip.Pair{
+		Name: "P0opt",
+		Z: fip.FromPred("Z", func(in *views.Interner, id views.ID) bool {
+			return in.Knows(id, types.Zero)
+		}),
+		O: fip.FromPred("O", p0optLikeDecided1),
+	}
+	if err := CheckWeakAgreement(crash, p0opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckUniformAgreement(crash, p0opt); err == nil {
+		t.Fatal("P0opt should violate uniform agreement in the crash mode")
+	}
+
+	// The simultaneous FloodSet rule is uniform: decisions happen only
+	// at t+1, after every pre-crash state is out of the picture.
+	floodPair := fip.Pair{
+		Name: "FloodSet",
+		Z: fip.FromPred("Z", func(in *views.Interner, id views.ID) bool {
+			return int(in.Time(id)) >= 2 && in.Knows(id, types.Zero)
+		}),
+		O: fip.FromPred("O", func(in *views.Interner, id views.ID) bool {
+			return int(in.Time(id)) >= 2 && !in.Knows(id, types.Zero)
+		}),
+	}
+	if err := CheckUniformAgreement(crash, floodPair); err != nil {
+		t.Fatalf("FloodSet should be uniform in the crash mode: %v", err)
+	}
+}
+
+// p0optLikeDecided1 mirrors protocols.p0optDecided1 without importing
+// the protocols package (which depends on core).
+func p0optLikeDecided1(in *views.Interner, id views.ID) bool {
+	if in.Knows(id, types.Zero) {
+		return false
+	}
+	for cur := id; cur != views.NoView; cur = in.Prev(cur) {
+		if in.KnowsAll(cur, types.One) {
+			return true
+		}
+		if prev := in.Prev(cur); prev != views.NoView && in.Time(cur) >= 2 &&
+			in.HeardFrom(cur) == in.HeardFrom(prev) {
+			return true
+		}
+	}
+	return false
+}

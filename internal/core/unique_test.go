@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// p0optPairLocal mirrors protocols.P0OptPair (no import cycle).
+func p0optPairLocal() fip.Pair {
+	return fip.Pair{
+		Name: "P0opt",
+		Z: fip.FromPred("Z", func(in *views.Interner, id views.ID) bool {
+			return in.Knows(id, types.Zero)
+		}),
+		O: fip.FromPred("O", p0optLikeDecided1),
+	}
+}
+
+// p1optPairLocal is the value-swapped mirror of P0opt: the optimal
+// protocol biased towards deciding 1 early.
+func p1optPairLocal() fip.Pair {
+	return fip.Pair{
+		Name: "P1opt",
+		O: fip.FromPred("O", func(in *views.Interner, id views.ID) bool {
+			return in.Knows(id, types.One)
+		}),
+		Z: fip.FromPred("Z", func(in *views.Interner, id views.ID) bool {
+			if in.Knows(id, types.One) {
+				return false
+			}
+			for cur := id; cur != views.NoView; cur = in.Prev(cur) {
+				if in.KnowsAll(cur, types.Zero) {
+					return true
+				}
+				if prev := in.Prev(cur); prev != views.NoView && in.Time(cur) >= 2 &&
+					in.HeardFrom(cur) == in.HeardFrom(prev) {
+					return true
+				}
+			}
+			return false
+		}),
+	}
+}
+
+// Section 2.2 / Section 6.1: P0opt is the unique optimal protocol
+// dominating P0 — so the two-step construction seeded with P0 must
+// land exactly on it. Seeded with P1 it lands on the mirror optimum
+// instead, and the two optima are distinct (optimality is not
+// uniqueness of the protocol, only of the dominating extension).
+func TestTwoStepSeedsLandOnTheRightOptimum(t *testing.T) {
+	sys := enum(t, 3, 1, failures.Crash, 3)
+	e := knowledge.NewEvaluator(sys)
+
+	p0opt := p0optPairLocal()
+	p1opt := p1optPairLocal()
+
+	fromP0 := TwoStep(e, p0Pair(1))
+	if ok, diff := EqualOnNonfaulty(sys, fromP0, p0opt); !ok {
+		t.Fatalf("TwoStep(P0) should equal P0opt: %s", diff)
+	}
+	if !Dominates(sys, fromP0, p0Pair(1)) {
+		t.Fatal("TwoStep(P0) must dominate P0")
+	}
+
+	fromP1 := TwoStep(e, p1Pair(1))
+	if !Dominates(sys, fromP1, p1Pair(1)) {
+		t.Fatal("TwoStep(P1) must dominate P1")
+	}
+	if ok, reason := IsOptimal(e, fromP1); !ok {
+		t.Fatalf("TwoStep(P1) should be optimal: %s", reason)
+	}
+	if ok, _ := EqualOnNonfaulty(sys, fromP1, p0opt); ok {
+		t.Fatal("TwoStep(P1) must differ from P0opt (it favours 1)")
+	}
+	if ok, diff := EqualOnNonfaulty(sys, fromP1, p1opt); !ok {
+		t.Fatalf("TwoStep(P1) should equal the mirror optimum P1opt: %s", diff)
+	}
+
+	// The mirror optimum is itself optimal and both dominate F^Λ
+	// trivially, yet neither dominates the other: the optimal
+	// protocols form an antichain.
+	if ok, reason := IsOptimal(e, p1opt); !ok {
+		t.Fatalf("P1opt should be optimal: %s", reason)
+	}
+	if Dominates(sys, p0opt, p1opt) || Dominates(sys, p1opt, p0opt) {
+		t.Fatal("distinct optima must be incomparable")
+	}
+}
+
+// The symmetric construction (Theorem 5.2's closing remark): the dual
+// two-step from F^Λ yields the 1-favouring optimum — exactly the
+// mirror of the standard construction's P0opt.
+func TestTwoStepDualYieldsMirrorOptimum(t *testing.T) {
+	sys := enum(t, 3, 1, failures.Crash, 3)
+	e := knowledge.NewEvaluator(sys)
+	flam := fip.Pair{Name: "FΛ", Z: fip.Empty("z"), O: fip.Empty("o")}
+
+	dual := TwoStepDual(e, flam)
+	if err := CheckEBA(sys, dual); err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := IsOptimal(e, dual); !ok {
+		t.Fatalf("dual construction should be optimal: %s", reason)
+	}
+	if ok, diff := EqualOnNonfaulty(sys, dual, p1optPairLocal()); !ok {
+		t.Fatalf("dual construction should equal the mirror optimum: %s", diff)
+	}
+	// It differs from the standard construction's output.
+	standard := TwoStep(e, flam)
+	if ok, _ := EqualOnNonfaulty(sys, dual, standard); ok {
+		t.Fatal("dual and standard constructions should land on different optima")
+	}
+	// And applying the dual again is a no-op.
+	if !EqualOn(sys, dual, TwoStepDual(e, dual)) {
+		t.Fatal("dual construction should be a fixed point")
+	}
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs the complete harness; every experiment
+// must report PASS. This is the repository's "reproduce the paper"
+// test. Heavy experiments are skipped under -short.
+func TestAllExperimentsPass(t *testing.T) {
+	heavy := map[string]bool{"E7": true, "E12": true, "E13": true}
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			if testing.Short() && heavy[ex.ID] {
+				t.Skipf("%s is heavy; run without -short", ex.ID)
+			}
+			res, err := ex.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Pass {
+				var buf bytes.Buffer
+				Render(&buf, res)
+				t.Fatalf("experiment failed:\n%s", buf.String())
+			}
+			if res.ID != ex.ID {
+				t.Fatalf("result ID %q != registry ID %q", res.ID, ex.ID)
+			}
+			if res.Elapsed <= 0 {
+				t.Fatal("elapsed not recorded")
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("e6"); !ok {
+		t.Fatal("case-insensitive Find failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("unknown ID found")
+	}
+}
+
+func TestRender(t *testing.T) {
+	res := &Result{ID: "X", Title: "demo", Claim: "c", Pass: false, Summary: "s",
+		Table: &Table{Header: []string{"a", "bb"}}}
+	res.Table.Add("1", "2")
+	var buf bytes.Buffer
+	Render(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"FAIL", "demo", "claim:", "| a ", "| 1 "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

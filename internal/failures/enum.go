@@ -1,0 +1,235 @@
+package failures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// EnumCrash enumerates every canonical crash-mode failure pattern for
+// an n-processor system with at most t faulty processors over horizon
+// h rounds.
+//
+// Per faulty processor the canonical behaviours are: the invisible
+// crash (the processor fails only after the horizon), and for each
+// round k in 1..h and each proper subset A of the other processors, a
+// crash in round k whose round-k message reaches exactly A. The case
+// A = "all others" is omitted because it is behaviourally identical to
+// a crash in round k+1 that delivers nothing, which the enumeration
+// already covers (or to the invisible crash when k = h); keeping one
+// representative per visible behaviour keeps the enumerated system
+// free of duplicate runs without changing any knowledge fact.
+func EnumCrash(n, t, h int) ([]*Pattern, error) {
+	if err := (types.Params{N: n, T: t}).Validate(); err != nil {
+		return nil, err
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("failures: horizon %d < 1", h)
+	}
+	perProc := func(p types.ProcID) []*Behavior {
+		others := types.FullSet(n).Remove(p)
+		out := []*Behavior{{}} // invisible crash
+		for k := 1; k <= h; k++ {
+			// Proper subsets of others.
+			enumSubsets(others, func(allowed types.ProcSet) {
+				if allowed == others {
+					return
+				}
+				out = append(out, CrashBehavior(p, n, h, k, allowed))
+			})
+		}
+		return out
+	}
+	return enumPatterns(Crash, n, t, h, perProc, 0)
+}
+
+// EnumOmission enumerates every sending-omission failure pattern for
+// an n-processor system with at most t faulty processors over horizon
+// h: each faulty processor independently omits an arbitrary subset of
+// its required messages in each round. The count grows as
+// (2^(n-1))^h per faulty processor; limit > 0 aborts with an error if
+// the enumeration would exceed limit patterns (0 means no limit).
+func EnumOmission(n, t, h int, limit int) ([]*Pattern, error) {
+	if err := (types.Params{N: n, T: t}).Validate(); err != nil {
+		return nil, err
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("failures: horizon %d < 1", h)
+	}
+	perProc := func(p types.ProcID) []*Behavior {
+		others := types.FullSet(n).Remove(p)
+		behs := []*Behavior{{}}
+		for r := 1; r <= h; r++ {
+			var next []*Behavior
+			for _, b := range behs {
+				enumSubsets(others, func(om types.ProcSet) {
+					nb := &Behavior{Omit: make([]types.ProcSet, r)}
+					copy(nb.Omit, b.Omit)
+					nb.Omit[r-1] = om
+					next = append(next, nb)
+				})
+			}
+			behs = next
+		}
+		return behs
+	}
+	return enumPatterns(Omission, n, t, h, perProc, limit)
+}
+
+// enumSubsets calls fn on every subset of base.
+func enumSubsets(base types.ProcSet, fn func(types.ProcSet)) {
+	b := uint64(base)
+	// Standard subset-enumeration trick: iterate sub = (sub-1) & b.
+	sub := b
+	for {
+		fn(types.ProcSet(sub))
+		if sub == 0 {
+			return
+		}
+		sub = (sub - 1) & b
+	}
+}
+
+// enumPatterns combines per-processor behaviour menus over all faulty
+// sets of size at most t.
+func enumPatterns(mode Mode, n, t, h int, perProc func(types.ProcID) []*Behavior, limit int) ([]*Pattern, error) {
+	menus := make([][]*Behavior, n)
+	for p := 0; p < n; p++ {
+		menus[p] = perProc(types.ProcID(p))
+	}
+	var out []*Pattern
+	for _, faulty := range FaultySets(n, t) {
+		members := faulty.Members()
+		// Cartesian product over the faulty members' menus.
+		idx := make([]int, len(members))
+		for {
+			beh := make(map[types.ProcID]*Behavior, len(members))
+			for i, p := range members {
+				beh[p] = menus[p][idx[i]]
+			}
+			pat, err := NewPattern(mode, n, h, faulty, beh)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pat)
+			if limit > 0 && len(out) > limit {
+				return nil, fmt.Errorf("failures: enumeration exceeds limit %d", limit)
+			}
+			// Advance the odometer.
+			i := 0
+			for ; i < len(members); i++ {
+				idx[i]++
+				if idx[i] < len(menus[members[i]]) {
+					break
+				}
+				idx[i] = 0
+			}
+			if i == len(members) {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// SampleOmission draws count distinct sending-omission patterns
+// uniformly-ish at random (faulty-set size uniform in [0,t], members
+// and omission sets uniform), using the given source for
+// reproducibility. The failure-free pattern is always included first.
+func SampleOmission(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
+	return samplePatterns(Omission, n, t, h, count, rng, func(p types.ProcID) *Behavior {
+		others := types.FullSet(n).Remove(p)
+		b := &Behavior{Omit: make([]types.ProcSet, h)}
+		for r := 0; r < h; r++ {
+			b.Omit[r] = types.ProcSet(rng.Uint64()) & others
+		}
+		return b
+	})
+}
+
+// SampleCrash draws count distinct crash patterns at random.
+func SampleCrash(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
+	return samplePatterns(Crash, n, t, h, count, rng, func(p types.ProcID) *Behavior {
+		k := 1 + rng.Intn(h+1) // h+1 means invisible
+		if k > h {
+			return &Behavior{}
+		}
+		others := types.FullSet(n).Remove(p)
+		allowed := types.ProcSet(rng.Uint64()) & others
+		return CrashBehavior(p, n, h, k, allowed)
+	})
+}
+
+func samplePatterns(mode Mode, n, t, h, count int, rng *rand.Rand, draw func(types.ProcID) *Behavior) ([]*Pattern, error) {
+	if err := (types.Params{N: n, T: t}).Validate(); err != nil {
+		return nil, err
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("failures: horizon %d < 1", h)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("failures: count %d < 1", count)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("failures: nil random source")
+	}
+	seen := make(map[string]bool, count)
+	out := make([]*Pattern, 0, count)
+	add := func(p *Pattern) {
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			out = append(out, p)
+		}
+	}
+	add(FailureFree(mode, n, h))
+	// Bounded retry loop: the space may be smaller than count.
+	for tries := 0; len(out) < count && tries < 1000*count; tries++ {
+		size := rng.Intn(t + 1)
+		var faulty types.ProcSet
+		for faulty.Len() < size {
+			faulty = faulty.Add(types.ProcID(rng.Intn(n)))
+		}
+		beh := make(map[types.ProcID]*Behavior, size)
+		for _, p := range faulty.Members() {
+			beh[p] = draw(p)
+		}
+		pat, err := NewPattern(mode, n, h, faulty, beh)
+		if err != nil {
+			return nil, err
+		}
+		add(pat)
+	}
+	return out, nil
+}
+
+// Silent builds the pattern in which processor p is faulty and sends
+// no messages in any round from round k onward (its messages before k
+// are delivered normally). In crash mode this is a crash in round k
+// delivering nothing.
+func Silent(mode Mode, n, h int, p types.ProcID, k int) *Pattern {
+	others := types.FullSet(n).Remove(p)
+	b := &Behavior{Omit: make([]types.ProcSet, h)}
+	for r := 1; r <= h; r++ {
+		if r >= k {
+			b.Omit[r-1] = others
+		}
+	}
+	return MustPattern(mode, n, h, types.Singleton(p), map[types.ProcID]*Behavior{p: b})
+}
+
+// SilentExcept builds the omission-mode pattern of Proposition 6.3's
+// proof: processor p is faulty and omits every message in every round,
+// except that its round-m message to dst is delivered.
+func SilentExcept(n, h int, p types.ProcID, m int, dst types.ProcID) *Pattern {
+	others := types.FullSet(n).Remove(p)
+	b := &Behavior{Omit: make([]types.ProcSet, h)}
+	for r := 1; r <= h; r++ {
+		om := others
+		if r == m {
+			om = om.Remove(dst)
+		}
+		b.Omit[r-1] = om
+	}
+	return MustPattern(Omission, n, h, types.Singleton(p), map[types.ProcID]*Behavior{p: b})
+}

@@ -1,0 +1,399 @@
+// Package failures models the failure behaviour of processors in the
+// crash and sending-omission failure modes of Halpern, Moses, and
+// Waarts (PODC 1990), Section 2.1, and provides exhaustive enumerators
+// and seeded samplers over failure patterns.
+//
+// A failure pattern (paper, Section 2.3) is "the faulty behavior of
+// all the processors that fail in the run", where the faulty behavior
+// of a processor is "a complete description of the processors to whom
+// it omits sending required messages at each round". A protocol, an
+// initial configuration, and a failure pattern uniquely determine a
+// run.
+//
+// Because this repository works with finite-horizon systems, a pattern
+// describes behaviour for rounds 1..H. A processor may be designated
+// faulty yet exhibit no visible deviation within the horizon; this
+// models processors that fail only after time H (crash mode) or whose
+// omissions all lie beyond the horizon (omission mode). Such runs are
+// required for faithful knowledge semantics: a processor can never
+// know that another processor is nonfaulty.
+package failures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// Mode selects the failure semantics.
+type Mode int
+
+// Supported failure modes.
+const (
+	// Crash: a faulty processor obeys its protocol until it commits a
+	// crash failure at some round k > 0; in round k it sends an
+	// arbitrary subset of its required messages, and after round k it
+	// sends nothing.
+	Crash Mode = iota + 1
+	// Omission: a faulty processor may omit to send an arbitrary set
+	// of messages in any given round (sending omissions, MT88). It
+	// receives all messages sent to it.
+	Omission
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Crash:
+		return "crash"
+	case Omission:
+		return "omission"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a known mode.
+func (m Mode) Valid() bool { return m == Crash || m == Omission }
+
+// Behavior is the faulty behaviour of a single processor: for each
+// round r in 1..H, the set of destinations to whom it omits sending
+// its required round-r message. The zero Behavior (nil Omit) omits
+// nothing.
+type Behavior struct {
+	// Omit[r-1] is the set of destinations that do NOT receive the
+	// processor's round-r message even though the protocol requires
+	// one. Entries beyond len(Omit) are treated as empty.
+	Omit []types.ProcSet
+}
+
+// OmittedIn returns the omission set for round r (1-based).
+func (b *Behavior) OmittedIn(r types.Round) types.ProcSet {
+	if b == nil {
+		return types.EmptySet
+	}
+	idx := int(r) - 1
+	if idx < 0 || idx >= len(b.Omit) {
+		return types.EmptySet
+	}
+	return b.Omit[idx]
+}
+
+// Visible reports whether the behaviour deviates at all within the
+// horizon (some omission set is nonempty).
+func (b *Behavior) Visible() bool {
+	if b == nil {
+		return false
+	}
+	for _, s := range b.Omit {
+		if !s.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashShape reports whether the behaviour has the shape required by
+// the crash mode for a processor p in an n-processor system: there is
+// a round k such that nothing is omitted before k, an arbitrary set is
+// omitted at k, and everything is omitted after k. A behaviour with no
+// omissions has crash shape (the crash lies beyond the horizon).
+func (b *Behavior) CrashShape(p types.ProcID, n int, h int) bool {
+	others := types.FullSet(n).Remove(p)
+	k := -1 // first round with a nonempty omission, 1-based
+	for r := 1; r <= h; r++ {
+		om := b.OmittedIn(types.Round(r))
+		if !om.SubsetOf(others) {
+			return false
+		}
+		if k == -1 {
+			if !om.Empty() {
+				k = r
+			}
+			continue
+		}
+		if r > k && om != others {
+			return false
+		}
+	}
+	return true
+}
+
+// clone deep-copies the behaviour.
+func (b *Behavior) clone() *Behavior {
+	if b == nil {
+		return nil
+	}
+	out := &Behavior{Omit: make([]types.ProcSet, len(b.Omit))}
+	copy(out.Omit, b.Omit)
+	return out
+}
+
+// CrashBehavior builds the crash-mode behaviour of a processor p (in
+// an n-processor system, horizon h) that crashes in round k, delivering
+// its round-k message only to the processors in allowed. If k > h the
+// crash is invisible within the horizon and the behaviour is empty.
+func CrashBehavior(p types.ProcID, n, h, k int, allowed types.ProcSet) *Behavior {
+	others := types.FullSet(n).Remove(p)
+	if k > h {
+		return &Behavior{}
+	}
+	b := &Behavior{Omit: make([]types.ProcSet, h)}
+	for r := 1; r <= h; r++ {
+		switch {
+		case r < k:
+			b.Omit[r-1] = types.EmptySet
+		case r == k:
+			b.Omit[r-1] = others.Minus(allowed)
+		default:
+			b.Omit[r-1] = others
+		}
+	}
+	return b
+}
+
+// Pattern is a complete failure pattern for a run: the designated
+// faulty set and, for each faulty processor, its behaviour. Patterns
+// are immutable after construction.
+type Pattern struct {
+	mode     Mode
+	n        int
+	h        int
+	faulty   types.ProcSet
+	behavior map[types.ProcID]*Behavior
+	key      string
+}
+
+// NewPattern builds and validates a pattern. Every processor with a
+// behaviour must be in faulty; crash-mode behaviours must have crash
+// shape. Faulty processors without an explicit behaviour deviate
+// invisibly (beyond the horizon).
+func NewPattern(mode Mode, n, h int, faulty types.ProcSet, behavior map[types.ProcID]*Behavior) (*Pattern, error) {
+	if !mode.Valid() {
+		return nil, fmt.Errorf("failures: invalid mode %v", mode)
+	}
+	if n < 2 || n > types.MaxProcs {
+		return nil, fmt.Errorf("failures: n=%d out of range", n)
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("failures: horizon %d < 1", h)
+	}
+	if !faulty.SubsetOf(types.FullSet(n)) {
+		return nil, fmt.Errorf("failures: faulty set %v not within %d processors", faulty, n)
+	}
+	bcopy := make(map[types.ProcID]*Behavior, len(behavior))
+	for p, b := range behavior {
+		if !faulty.Contains(p) {
+			return nil, fmt.Errorf("failures: processor %d has behaviour but is not faulty", p)
+		}
+		if b == nil {
+			continue
+		}
+		if len(b.Omit) > h {
+			return nil, fmt.Errorf("failures: processor %d behaviour longer than horizon", p)
+		}
+		others := types.FullSet(n).Remove(p)
+		for r, s := range b.Omit {
+			if !s.SubsetOf(others) {
+				return nil, fmt.Errorf("failures: processor %d round %d omits %v outside others", p, r+1, s)
+			}
+		}
+		if mode == Crash && !b.CrashShape(p, n, h) {
+			return nil, fmt.Errorf("failures: processor %d behaviour lacks crash shape", p)
+		}
+		bcopy[p] = b.clone()
+	}
+	pat := &Pattern{mode: mode, n: n, h: h, faulty: faulty, behavior: bcopy}
+	pat.key = pat.computeKey()
+	return pat, nil
+}
+
+// MustPattern is NewPattern that panics on error; for tests and
+// internal enumerators whose inputs are correct by construction.
+func MustPattern(mode Mode, n, h int, faulty types.ProcSet, behavior map[types.ProcID]*Behavior) *Pattern {
+	p, err := NewPattern(mode, n, h, faulty, behavior)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FailureFree returns the pattern with no faulty processors.
+func FailureFree(mode Mode, n, h int) *Pattern {
+	return MustPattern(mode, n, h, types.EmptySet, nil)
+}
+
+// Mode returns the failure mode.
+func (p *Pattern) Mode() Mode { return p.mode }
+
+// N returns the system size.
+func (p *Pattern) N() int { return p.n }
+
+// Horizon returns the number of described rounds.
+func (p *Pattern) Horizon() int { return p.h }
+
+// Faulty returns the set of processors designated faulty in the run.
+func (p *Pattern) Faulty() types.ProcSet { return p.faulty }
+
+// Nonfaulty returns the complement of Faulty: the nonrigid set 𝒩
+// evaluated at any point of a run with this pattern (a processor is
+// nonfaulty in a run only if it is nonfaulty throughout the run,
+// Section 2.1).
+func (p *Pattern) Nonfaulty() types.ProcSet { return types.FullSet(p.n).Minus(p.faulty) }
+
+// VisiblyFaulty returns the processors whose behaviour deviates within
+// the horizon. In Proposition 6.4's statement "f processors actually
+// fail", f is the size of this set plus invisible faulty processors;
+// the decision bound uses failures a run can reveal, so callers
+// distinguish the two.
+func (p *Pattern) VisiblyFaulty() types.ProcSet {
+	var s types.ProcSet
+	for q, b := range p.behavior {
+		if b.Visible() {
+			s = s.Add(q)
+		}
+	}
+	return s
+}
+
+// FirstOmission returns the first round in which p omits a message,
+// and false if p never visibly deviates within the horizon. In the
+// crash mode this is the crash round.
+func (pat *Pattern) FirstOmission(p types.ProcID) (types.Round, bool) {
+	b, ok := pat.behavior[p]
+	if !ok {
+		return 0, false
+	}
+	for r := 1; r <= pat.h; r++ {
+		if !b.OmittedIn(types.Round(r)).Empty() {
+			return types.Round(r), true
+		}
+	}
+	return 0, false
+}
+
+// OmittedBy returns the destinations that do not receive sender's
+// round-r message (given that its protocol requires one).
+func (p *Pattern) OmittedBy(sender types.ProcID, r types.Round) types.ProcSet {
+	return p.behavior[sender].OmittedIn(r)
+}
+
+// Delivers reports whether a required round-r message from sender
+// reaches dst under this pattern. Self-delivery is always true: a
+// processor knows its own state.
+func (p *Pattern) Delivers(sender types.ProcID, r types.Round, dst types.ProcID) bool {
+	if sender == dst {
+		return true
+	}
+	return !p.OmittedBy(sender, r).Contains(dst)
+}
+
+// Receivers returns the set of processors (other than the sender) that
+// receive sender's required round-r message.
+func (p *Pattern) Receivers(sender types.ProcID, r types.Round) types.ProcSet {
+	return types.FullSet(p.n).Remove(sender).Minus(p.OmittedBy(sender, r))
+}
+
+// Extend returns a copy of the pattern with the horizon grown to h2,
+// with no additional visible deviations (crash behaviours keep
+// omitting everything after the crash round).
+func (p *Pattern) Extend(h2 int) (*Pattern, error) {
+	if h2 < p.h {
+		return nil, fmt.Errorf("failures: Extend(%d) below current horizon %d", h2, p.h)
+	}
+	nb := make(map[types.ProcID]*Behavior, len(p.behavior))
+	for q, b := range p.behavior {
+		eb := &Behavior{Omit: make([]types.ProcSet, h2)}
+		copy(eb.Omit, b.Omit)
+		if p.mode == Crash && b.Visible() {
+			others := types.FullSet(p.n).Remove(q)
+			// After the crash round, everything stays omitted.
+			crashed := false
+			for r := 0; r < h2; r++ {
+				if crashed {
+					eb.Omit[r] = others
+				} else if !eb.Omit[r].Empty() {
+					crashed = true
+				}
+			}
+		}
+		nb[q] = eb
+	}
+	return NewPattern(p.mode, p.n, h2, p.faulty, nb)
+}
+
+// Key returns a canonical string identity for the pattern; two
+// patterns with equal keys produce identical runs (for a fixed
+// protocol and configuration) and identical faulty sets.
+func (p *Pattern) Key() string { return p.key }
+
+func (p *Pattern) computeKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/n%d/h%d/F%x", p.mode, p.n, p.h, uint64(p.faulty))
+	ids := make([]int, 0, len(p.behavior))
+	for q := range p.behavior {
+		ids = append(ids, int(q))
+	}
+	sort.Ints(ids)
+	for _, q := range ids {
+		beh := p.behavior[types.ProcID(q)]
+		if !beh.Visible() {
+			continue
+		}
+		fmt.Fprintf(&b, "|%d:", q)
+		for r := 1; r <= p.h; r++ {
+			fmt.Fprintf(&b, "%x,", uint64(beh.OmittedIn(types.Round(r))))
+		}
+	}
+	return b.String()
+}
+
+// String is a compact human-readable rendering.
+func (p *Pattern) String() string {
+	if p.faulty.Empty() {
+		return fmt.Sprintf("%s: failure-free", p.mode)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: faulty=%s", p.mode, p.faulty)
+	for _, q := range p.faulty.Members() {
+		beh := p.behavior[q]
+		if !beh.Visible() {
+			fmt.Fprintf(&b, " p%d[invisible]", q)
+			continue
+		}
+		fmt.Fprintf(&b, " p%d[", q)
+		first := true
+		for r := 1; r <= p.h; r++ {
+			om := beh.OmittedIn(types.Round(r))
+			if om.Empty() {
+				continue
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			fmt.Fprintf(&b, "r%d omit %s", r, om)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// FaultySets enumerates all subsets of {0..n-1} of size at most t, in
+// increasing size then lexicographic order, starting with the empty
+// set.
+func FaultySets(n, t int) []types.ProcSet {
+	var out []types.ProcSet
+	full := uint64(types.FullSet(n))
+	for size := 0; size <= t; size++ {
+		for m := uint64(0); m <= full; m++ {
+			s := types.ProcSet(m)
+			if s.Len() == size {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package failures
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+func TestModeString(t *testing.T) {
+	if Crash.String() != "crash" || Omission.String() != "omission" {
+		t.Fatal("mode names wrong")
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Fatal("unknown mode string")
+	}
+	if Mode(0).Valid() || !Crash.Valid() {
+		t.Fatal("Valid wrong")
+	}
+}
+
+func TestBehaviorOmittedIn(t *testing.T) {
+	var nilB *Behavior
+	if !nilB.OmittedIn(1).Empty() || nilB.Visible() {
+		t.Fatal("nil behaviour should omit nothing")
+	}
+	b := &Behavior{Omit: []types.ProcSet{types.SetOf(1), types.EmptySet}}
+	if b.OmittedIn(1) != types.SetOf(1) {
+		t.Fatal("round 1 wrong")
+	}
+	if !b.OmittedIn(2).Empty() || !b.OmittedIn(3).Empty() || !b.OmittedIn(0).Empty() {
+		t.Fatal("out-of-range rounds should be empty")
+	}
+	if !b.Visible() {
+		t.Fatal("Visible wrong")
+	}
+}
+
+func TestCrashBehaviorShape(t *testing.T) {
+	const n, h = 4, 4
+	for k := 1; k <= h+1; k++ {
+		b := CrashBehavior(0, n, h, k, types.SetOf(1))
+		if !b.CrashShape(0, n, h) {
+			t.Errorf("CrashBehavior(k=%d) lacks crash shape", k)
+		}
+		if k > h && b.Visible() {
+			t.Errorf("crash beyond horizon should be invisible")
+		}
+		if k <= h {
+			if got := b.OmittedIn(types.Round(k)); got != types.SetOf(2, 3) {
+				t.Errorf("k=%d: round-k omissions = %v, want {2,3}", k, got)
+			}
+			if k < h {
+				if got := b.OmittedIn(types.Round(k + 1)); got != types.SetOf(1, 2, 3) {
+					t.Errorf("k=%d: round k+1 omissions = %v", k, got)
+				}
+			}
+		}
+	}
+	// Not crash shape: omission in round 1, silence, then speech.
+	bad := &Behavior{Omit: []types.ProcSet{types.SetOf(1), types.SetOf(1, 2, 3), types.EmptySet}}
+	if bad.CrashShape(0, n, 3) {
+		t.Fatal("resurrecting processor accepted as crash shape")
+	}
+	// Omitting a message to itself is not a valid shape.
+	self := &Behavior{Omit: []types.ProcSet{types.SetOf(0)}}
+	if self.CrashShape(0, n, 1) {
+		t.Fatal("self-omission accepted")
+	}
+}
+
+func TestNewPatternValidation(t *testing.T) {
+	beh := map[types.ProcID]*Behavior{0: CrashBehavior(0, 4, 2, 1, types.SetOf(2))}
+	tests := []struct {
+		name   string
+		mode   Mode
+		n, h   int
+		faulty types.ProcSet
+		b      map[types.ProcID]*Behavior
+		ok     bool
+	}{
+		{"valid crash", Crash, 4, 2, types.SetOf(0), beh, true},
+		{"bad mode", Mode(0), 4, 2, types.SetOf(0), beh, false},
+		{"n too small", Crash, 1, 2, types.EmptySet, nil, false},
+		{"h too small", Crash, 4, 0, types.EmptySet, nil, false},
+		{"faulty outside n", Crash, 4, 2, types.SetOf(7), nil, false},
+		{"behaviour for nonfaulty", Crash, 4, 2, types.EmptySet, beh, false},
+		{"behaviour too long", Crash, 4, 1,
+			types.SetOf(0), map[types.ProcID]*Behavior{0: {Omit: make([]types.ProcSet, 2)}}, false},
+		{"self omission", Omission, 4, 1,
+			types.SetOf(0), map[types.ProcID]*Behavior{0: {Omit: []types.ProcSet{types.SetOf(0)}}}, false},
+		{"non-crash shape in crash mode", Crash, 4, 3,
+			types.SetOf(0), map[types.ProcID]*Behavior{0: {Omit: []types.ProcSet{types.SetOf(1), 0, types.SetOf(1)}}}, false},
+		{"same shape fine under omission", Omission, 4, 3,
+			types.SetOf(0), map[types.ProcID]*Behavior{0: {Omit: []types.ProcSet{types.SetOf(1), 0, types.SetOf(1)}}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPattern(tt.mode, tt.n, tt.h, tt.faulty, tt.b)
+			if (err == nil) != tt.ok {
+				t.Errorf("err = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestPatternAccessors(t *testing.T) {
+	p := MustPattern(Crash, 4, 3, types.SetOf(1, 2), map[types.ProcID]*Behavior{
+		1: CrashBehavior(1, 4, 3, 2, types.SetOf(0)),
+		// processor 2 faulty but invisible
+	})
+	if p.Mode() != Crash || p.N() != 4 || p.Horizon() != 3 {
+		t.Fatal("accessors wrong")
+	}
+	if p.Faulty() != types.SetOf(1, 2) || p.Nonfaulty() != types.SetOf(0, 3) {
+		t.Fatal("faulty/nonfaulty wrong")
+	}
+	if p.VisiblyFaulty() != types.SetOf(1) {
+		t.Fatalf("VisiblyFaulty = %v", p.VisiblyFaulty())
+	}
+	// Round 1: everything delivered.
+	if !p.Delivers(1, 1, 0) || !p.Delivers(1, 1, 3) {
+		t.Fatal("round 1 should deliver")
+	}
+	// Round 2: only processor 0 receives from 1.
+	if !p.Delivers(1, 2, 0) || p.Delivers(1, 2, 3) {
+		t.Fatal("round 2 delivery wrong")
+	}
+	if got := p.Receivers(1, 2); got != types.SetOf(0) {
+		t.Fatalf("Receivers = %v", got)
+	}
+	// Round 3: silence.
+	if got := p.Receivers(1, 3); !got.Empty() {
+		t.Fatalf("Receivers after crash = %v", got)
+	}
+	// Self-delivery always true.
+	if !p.Delivers(1, 3, 1) {
+		t.Fatal("self-delivery should hold")
+	}
+	// Nonfaulty processor always delivers.
+	if got := p.Receivers(0, 3); got != types.SetOf(1, 2, 3) {
+		t.Fatalf("nonfaulty Receivers = %v", got)
+	}
+	if !strings.Contains(p.String(), "faulty={1,2}") {
+		t.Fatalf("String = %q", p.String())
+	}
+	if !strings.Contains(FailureFree(Crash, 3, 2).String(), "failure-free") {
+		t.Fatal("failure-free String wrong")
+	}
+}
+
+func TestPatternExtend(t *testing.T) {
+	p := MustPattern(Crash, 4, 2, types.SetOf(1), map[types.ProcID]*Behavior{
+		1: CrashBehavior(1, 4, 2, 2, types.EmptySet),
+	})
+	q, err := p.Extend(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Horizon() != 4 {
+		t.Fatal("horizon not extended")
+	}
+	// Crash persists: rounds 3 and 4 omit everything.
+	if !q.Receivers(1, 3).Empty() || !q.Receivers(1, 4).Empty() {
+		t.Fatal("crash must persist beyond original horizon")
+	}
+	if _, err := p.Extend(1); err == nil {
+		t.Fatal("shrinking Extend accepted")
+	}
+	// Omission extension leaves the new rounds failure-free.
+	o := SilentExcept(4, 2, 1, 2, 0)
+	oe, err := o.Extend(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oe.Receivers(1, 3); got != types.SetOf(0, 2, 3) {
+		t.Fatalf("omission extension round 3 = %v", got)
+	}
+}
+
+func TestPatternKeyDistinguishes(t *testing.T) {
+	a := Silent(Omission, 4, 3, 1, 1)
+	b := Silent(Omission, 4, 3, 1, 2)
+	c := Silent(Omission, 4, 3, 2, 1)
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Fatal("keys should differ")
+	}
+	a2 := Silent(Omission, 4, 3, 1, 1)
+	if a.Key() != a2.Key() {
+		t.Fatal("identical patterns should share keys")
+	}
+	// Invisible faulty processor is part of the identity.
+	inv := MustPattern(Omission, 4, 3, types.SetOf(1), nil)
+	ff := FailureFree(Omission, 4, 3)
+	if inv.Key() == ff.Key() {
+		t.Fatal("invisible-faulty pattern must differ from failure-free")
+	}
+}
+
+func TestFaultySets(t *testing.T) {
+	got := FaultySets(3, 1)
+	want := []types.ProcSet{types.EmptySet, types.SetOf(0), types.SetOf(1), types.SetOf(2)}
+	if len(got) != len(want) {
+		t.Fatalf("FaultySets(3,1) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FaultySets[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(FaultySets(4, 2)) != 1+4+6 {
+		t.Fatalf("FaultySets(4,2) count = %d", len(FaultySets(4, 2)))
+	}
+}
+
+func TestEnumCrashCounts(t *testing.T) {
+	// Per faulty processor: 1 invisible + h*(2^(n-1)-1) visible.
+	tests := []struct {
+		n, t, h int
+		want    int
+	}{
+		// n=3: per-proc = 1 + 2*(4-1) = 7; sets: 1 + 3*7 = 22.
+		{3, 1, 2, 1 + 3*7},
+		// n=4, h=3: per-proc = 1 + 3*7 = 22; 1 + 4*22 = 89.
+		{4, 1, 3, 1 + 4*22},
+		// n=4, t=2, h=2: per-proc = 1+2*7=15; 1 + 4*15 + 6*15*15 = 1411.
+		{4, 2, 2, 1 + 4*15 + 6*225},
+	}
+	for _, tt := range tests {
+		ps, err := EnumCrash(tt.n, tt.t, tt.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ps) != tt.want {
+			t.Errorf("EnumCrash(%d,%d,%d) = %d patterns, want %d", tt.n, tt.t, tt.h, len(ps), tt.want)
+		}
+		seen := make(map[string]bool, len(ps))
+		for _, p := range ps {
+			if seen[p.Key()] {
+				t.Fatalf("duplicate pattern key %q", p.Key())
+			}
+			seen[p.Key()] = true
+			if p.Faulty().Len() > tt.t {
+				t.Fatalf("pattern with %d faulty > t", p.Faulty().Len())
+			}
+		}
+	}
+}
+
+func TestEnumOmissionCounts(t *testing.T) {
+	// n=3, t=1, h=2: per-proc behaviours = (2^2)^2 = 16; 1 + 3*16 = 49.
+	ps, err := EnumOmission(3, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 49 {
+		t.Fatalf("EnumOmission(3,1,2) = %d, want 49", len(ps))
+	}
+	if _, err := EnumOmission(4, 1, 3, 10); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}
+
+func TestEnumErrors(t *testing.T) {
+	if _, err := EnumCrash(1, 0, 2); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := EnumCrash(3, 1, 0); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	if _, err := EnumOmission(3, 3, 2, 0); err == nil {
+		t.Fatal("t=n accepted")
+	}
+	if _, err := EnumOmission(3, 1, 0, 0); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+}
+
+func TestSamplers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	om, err := SampleOmission(5, 2, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(om) != 50 {
+		t.Fatalf("SampleOmission returned %d", len(om))
+	}
+	if !om[0].Faulty().Empty() {
+		t.Fatal("first sample should be failure-free")
+	}
+	seen := make(map[string]bool)
+	for _, p := range om {
+		if seen[p.Key()] {
+			t.Fatal("duplicate sample")
+		}
+		seen[p.Key()] = true
+	}
+	cr, err := SampleCrash(5, 2, 3, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cr {
+		for _, q := range p.Faulty().Members() {
+			if !p.behavior[q].CrashShape(q, 5, 3) {
+				t.Fatal("sampled crash pattern lacks crash shape")
+			}
+		}
+	}
+	if _, err := SampleOmission(5, 2, 3, 0, rng); err == nil {
+		t.Fatal("count=0 accepted")
+	}
+	if _, err := SampleOmission(5, 2, 3, 5, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := SampleCrash(1, 0, 3, 5, rng); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := SampleCrash(5, 2, 0, 5, rng); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+}
+
+func TestSilentAndSilentExcept(t *testing.T) {
+	s := Silent(Omission, 4, 3, 2, 2)
+	if !s.Delivers(2, 1, 0) || s.Delivers(2, 2, 0) || s.Delivers(2, 3, 1) {
+		t.Fatal("Silent delivery wrong")
+	}
+	se := SilentExcept(4, 3, 1, 2, 3)
+	if se.Delivers(1, 1, 0) || !se.Delivers(1, 2, 3) || se.Delivers(1, 2, 0) || se.Delivers(1, 3, 3) {
+		t.Fatal("SilentExcept delivery wrong")
+	}
+}
+
+// Property: Receivers and Delivers agree, and nonfaulty processors
+// always deliver everything.
+func TestDeliversReceiversQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps, err := SampleOmission(5, 2, 3, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pi uint8, sender, dst uint8, r uint8) bool {
+		p := ps[int(pi)%len(ps)]
+		s := types.ProcID(sender % 5)
+		d := types.ProcID(dst % 5)
+		round := types.Round(1 + r%3)
+		if s == d {
+			return p.Delivers(s, round, d)
+		}
+		if p.Nonfaulty().Contains(s) && !p.Delivers(s, round, d) {
+			return false
+		}
+		return p.Receivers(s, round).Contains(d) == p.Delivers(s, round, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

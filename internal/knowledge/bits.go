@@ -1,0 +1,111 @@
+package knowledge
+
+import "math/bits"
+
+// Bits is a fixed-size bitset over point indices; the truth table of a
+// formula across an enumerated system.
+type Bits struct {
+	n int
+	w []uint64
+}
+
+// NewBits allocates an all-false table for n points.
+func NewBits(n int) *Bits { return &Bits{n: n, w: make([]uint64, (n+63)/64)} }
+
+// Len returns the number of points.
+func (b *Bits) Len() int { return b.n }
+
+// Get reports bit i.
+func (b *Bits) Get(i int) bool { return b.w[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Set sets bit i to v.
+func (b *Bits) Set(i int, v bool) {
+	if v {
+		b.w[i>>6] |= 1 << uint(i&63)
+	} else {
+		b.w[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// Fill sets every bit to v.
+func (b *Bits) Fill(v bool) {
+	var word uint64
+	if v {
+		word = ^uint64(0)
+	}
+	for i := range b.w {
+		b.w[i] = word
+	}
+	b.trim()
+}
+
+// trim clears the bits above n so Count and Equal stay exact.
+func (b *Bits) trim() {
+	if r := uint(b.n & 63); r != 0 && len(b.w) > 0 {
+		b.w[len(b.w)-1] &= (1 << r) - 1
+	}
+}
+
+// Clone copies the table.
+func (b *Bits) Clone() *Bits {
+	c := NewBits(b.n)
+	copy(c.w, b.w)
+	return c
+}
+
+// AndWith sets b to b ∧ o.
+func (b *Bits) AndWith(o *Bits) {
+	for i := range b.w {
+		b.w[i] &= o.w[i]
+	}
+}
+
+// OrWith sets b to b ∨ o.
+func (b *Bits) OrWith(o *Bits) {
+	for i := range b.w {
+		b.w[i] |= o.w[i]
+	}
+}
+
+// NotSelf complements b.
+func (b *Bits) NotSelf() {
+	for i := range b.w {
+		b.w[i] = ^b.w[i]
+	}
+	b.trim()
+}
+
+// Count returns the number of true bits.
+func (b *Bits) Count() int {
+	c := 0
+	for _, w := range b.w {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// All reports whether every bit is true.
+func (b *Bits) All() bool { return b.Count() == b.n }
+
+// Any reports whether some bit is true.
+func (b *Bits) Any() bool {
+	for _, w := range b.w {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether the tables are identical.
+func (b *Bits) Equal(o *Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.w {
+		if b.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refBits is the reference model: a plain bool slice.
+type refBits []bool
+
+func fromWords(n int, words []uint64) (*Bits, refBits) {
+	b := NewBits(n)
+	r := make(refBits, n)
+	for i := 0; i < n; i++ {
+		v := words[i%len(words)]>>(uint(i)%64)&1 == 1
+		b.Set(i, v)
+		r[i] = v
+	}
+	return b, r
+}
+
+func agree(b *Bits, r refBits) bool {
+	if b.Len() != len(r) {
+		return false
+	}
+	count := 0
+	for i, v := range r {
+		if b.Get(i) != v {
+			return false
+		}
+		if v {
+			count++
+		}
+	}
+	if b.Count() != count {
+		return false
+	}
+	if b.All() != (count == len(r)) {
+		return false
+	}
+	if b.Any() != (count > 0) {
+		return false
+	}
+	return true
+}
+
+// Property: every bit operation agrees with the bool-slice model.
+func TestBitsQuickAgainstReference(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(5)),
+	}
+	f := func(aw, bw []uint64, size uint16) bool {
+		n := int(size%300) + 1
+		if len(aw) == 0 {
+			aw = []uint64{0}
+		}
+		if len(bw) == 0 {
+			bw = []uint64{0}
+		}
+		a, ra := fromWords(n, aw)
+		b, rb := fromWords(n, bw)
+		if !agree(a, ra) || !agree(b, rb) {
+			return false
+		}
+
+		and := a.Clone()
+		and.AndWith(b)
+		or := a.Clone()
+		or.OrWith(b)
+		not := a.Clone()
+		not.NotSelf()
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (ra[i] && rb[i]) {
+				return false
+			}
+			if or.Get(i) != (ra[i] || rb[i]) {
+				return false
+			}
+			if not.Get(i) == ra[i] {
+				return false
+			}
+		}
+		// Clone independence.
+		c := a.Clone()
+		c.Fill(true)
+		if !agree(a, ra) || !c.All() {
+			return false
+		}
+		// Equality is structural.
+		return a.Equal(a) && (a.Equal(b) == bitsEqualRef(ra, rb))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bitsEqualRef(a, b refBits) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,503 @@
+package knowledge
+
+import (
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// Evaluator computes truth tables of formulas over one enumerated
+// system, memoizing by formula node identity and caching per-set
+// reachability structures. It is not safe for concurrent use.
+type Evaluator struct {
+	sys  *system.System
+	memo map[Formula]*Bits
+
+	// members caches S(pt) tables per nonrigid set.
+	members map[NonrigidSet][]types.ProcSet
+	// pointComp caches the C_S point components per set.
+	pointComp map[NonrigidSet]*unionFind
+	// runComp caches the C□_S run components per set.
+	runComp map[NonrigidSet]*unionFind
+}
+
+// NewEvaluator creates an evaluator for the system.
+func NewEvaluator(sys *system.System) *Evaluator {
+	return &Evaluator{
+		sys:       sys,
+		memo:      make(map[Formula]*Bits),
+		members:   make(map[NonrigidSet][]types.ProcSet),
+		pointComp: make(map[NonrigidSet]*unionFind),
+		runComp:   make(map[NonrigidSet]*unionFind),
+	}
+}
+
+// System returns the evaluator's system.
+func (e *Evaluator) System() *system.System { return e.sys }
+
+// Holds reports whether f holds at the point.
+func (e *Evaluator) Holds(f Formula, pt system.Point) bool {
+	return e.Eval(f).Get(e.sys.PointIndex(pt))
+}
+
+// Valid reports whether f holds at every point of the system (the
+// paper's ℛ ⊨ φ).
+func (e *Evaluator) Valid(f Formula) bool { return e.Eval(f).All() }
+
+// FailingPoint returns a point where f fails, if any.
+func (e *Evaluator) FailingPoint(f Formula) (system.Point, bool) {
+	tbl := e.Eval(f)
+	for i := 0; i < tbl.Len(); i++ {
+		if !tbl.Get(i) {
+			return e.sys.PointAt(i), true
+		}
+	}
+	return system.Point{}, false
+}
+
+// Eval returns f's truth table (one bit per point index). The table
+// is owned by the evaluator's memo; callers must not modify it.
+func (e *Evaluator) Eval(f Formula) *Bits {
+	if tbl, ok := e.memo[f]; ok {
+		return tbl
+	}
+	var tbl *Bits
+	switch g := f.(type) {
+	case *constF:
+		tbl = NewBits(e.sys.NumPoints())
+		tbl.Fill(g.v)
+	case *atomF:
+		tbl = NewBits(e.sys.NumPoints())
+		e.sys.ForEachPoint(func(pt system.Point) {
+			if g.pred(e.sys, pt) {
+				tbl.Set(e.sys.PointIndex(pt), true)
+			}
+		})
+	case *notF:
+		tbl = e.Eval(g.f).Clone()
+		tbl.NotSelf()
+	case *andF:
+		tbl = NewBits(e.sys.NumPoints())
+		tbl.Fill(true)
+		for _, sub := range g.fs {
+			tbl.AndWith(e.Eval(sub))
+		}
+	case *orF:
+		tbl = NewBits(e.sys.NumPoints())
+		for _, sub := range g.fs {
+			tbl.OrWith(e.Eval(sub))
+		}
+	case *kF:
+		tbl = e.evalK(g.i, e.Eval(g.f), nil)
+	case *bF:
+		tbl = e.evalK(g.i, e.Eval(g.f), g.s)
+	case *eF:
+		tbl = e.evalE(g.s, e.Eval(g.f))
+	case *cF:
+		tbl = e.evalC(g.s, e.Eval(g.f))
+	case *boxF:
+		tbl = e.evalBox(e.Eval(g.f), false)
+	case *diamondF:
+		tbl = e.evalBox(e.Eval(g.f), true)
+	case *cboxF:
+		tbl = e.evalCBox(g.s, e.Eval(g.f))
+	case *henceforthF:
+		tbl = e.evalSuffix(e.Eval(g.f), false)
+	case *futureF:
+		tbl = e.evalSuffix(e.Eval(g.f), true)
+	case *ediamondF:
+		tbl = e.evalEDiamond(g.s, e.Eval(g.f))
+	case *cdiamondF:
+		tbl = e.evalCDiamond(g.s, e.Eval(g.f))
+	default:
+		panic("knowledge: unknown formula type")
+	}
+	e.memo[f] = tbl
+	return tbl
+}
+
+// membersTable returns (caching) the S(pt) table.
+func (e *Evaluator) membersTable(s NonrigidSet) []types.ProcSet {
+	if tbl, ok := e.members[s]; ok {
+		return tbl
+	}
+	tbl := make([]types.ProcSet, e.sys.NumPoints())
+	e.sys.ForEachPoint(func(pt system.Point) {
+		tbl[e.sys.PointIndex(pt)] = s.Members(e.sys, pt)
+	})
+	e.members[s] = tbl
+	return tbl
+}
+
+// evalK computes K_i f (s == nil) or B^s_i f: at each point, the
+// conjunction of f over the points where i has the same view — for B,
+// restricted to points where i ∈ S.
+func (e *Evaluator) evalK(i types.ProcID, ft *Bits, s NonrigidSet) *Bits {
+	out := NewBits(e.sys.NumPoints())
+	var smem []types.ProcSet
+	if s != nil {
+		smem = e.membersTable(s)
+	}
+	// Truth of K_i f is constant on each view class; compute once per
+	// class.
+	classVal := make(map[views.ID]bool)
+	e.sys.ForEachPoint(func(pt system.Point) {
+		id := e.sys.ViewAt(pt, i)
+		val, ok := classVal[id]
+		if !ok {
+			val = true
+			for _, q := range e.sys.PointsWithView(id) {
+				qi := e.sys.PointIndex(q)
+				if smem != nil && !smem[qi].Contains(i) {
+					continue
+				}
+				if !ft.Get(qi) {
+					val = false
+					break
+				}
+			}
+			classVal[id] = val
+		}
+		if val {
+			out.Set(e.sys.PointIndex(pt), true)
+		}
+	})
+	return out
+}
+
+// evalE computes E_S f = ∧_{i∈S(pt)} B^S_i f.
+func (e *Evaluator) evalE(s NonrigidSet, ft *Bits) *Bits {
+	n := e.sys.Params.N
+	bTables := make([]*Bits, n)
+	for i := 0; i < n; i++ {
+		bTables[i] = e.evalK(types.ProcID(i), ft, s)
+	}
+	smem := e.membersTable(s)
+	out := NewBits(e.sys.NumPoints())
+	for idx := 0; idx < e.sys.NumPoints(); idx++ {
+		ok := true
+		smem[idx].ForEach(func(p types.ProcID) bool {
+			if !bTables[p].Get(idx) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		out.Set(idx, ok)
+	}
+	return out
+}
+
+// pointComponents returns (caching) the union-find over points whose
+// components are the C_S reachability classes: points pt, pt' are
+// joined iff some i ∈ S(pt) ∩ S(pt') has the same view at both.
+func (e *Evaluator) pointComponents(s NonrigidSet) *unionFind {
+	if uf, ok := e.pointComp[s]; ok {
+		return uf
+	}
+	smem := e.membersTable(s)
+	uf := newUnionFind(e.sys.NumPoints())
+	// For each view class, join the points where the view's owner is
+	// in S.
+	seen := make(map[views.ID]bool)
+	e.sys.ForEachPoint(func(pt system.Point) {
+		idx := e.sys.PointIndex(pt)
+		smem[idx].ForEach(func(i types.ProcID) bool {
+			id := e.sys.ViewAt(pt, i)
+			if seen[id] {
+				return true
+			}
+			seen[id] = true
+			first := -1
+			for _, q := range e.sys.PointsWithView(id) {
+				qi := e.sys.PointIndex(q)
+				if !smem[qi].Contains(i) {
+					continue
+				}
+				if first < 0 {
+					first = qi
+				} else {
+					uf.union(first, qi)
+				}
+			}
+			return true
+		})
+	})
+	e.pointComp[s] = uf
+	return uf
+}
+
+// evalC computes C_S f: at S-empty points C_S f is vacuously true; at
+// S-occupied points it is the conjunction of f over the point's
+// reachability component (which includes the point itself).
+func (e *Evaluator) evalC(s NonrigidSet, ft *Bits) *Bits {
+	smem := e.membersTable(s)
+	uf := e.pointComponents(s)
+	np := e.sys.NumPoints()
+	compAll := make(map[int]bool)
+	for idx := 0; idx < np; idx++ {
+		if smem[idx].Empty() {
+			continue
+		}
+		root := uf.find(idx)
+		v, ok := compAll[root]
+		if !ok {
+			v = true
+		}
+		compAll[root] = v && ft.Get(idx)
+	}
+	out := NewBits(np)
+	for idx := 0; idx < np; idx++ {
+		if smem[idx].Empty() {
+			out.Set(idx, true)
+			continue
+		}
+		out.Set(idx, compAll[uf.find(idx)])
+	}
+	return out
+}
+
+// evalBox computes □̂ f (or ◇̂ f when diamond): the truth of f at all
+// (some) times of the point's run.
+func (e *Evaluator) evalBox(ft *Bits, diamond bool) *Bits {
+	np := e.sys.NumPoints()
+	out := NewBits(np)
+	h := e.sys.Horizon
+	for r := 0; r < e.sys.NumRuns(); r++ {
+		base := r * (h + 1)
+		val := !diamond
+		for m := 0; m <= h; m++ {
+			bit := ft.Get(base + m)
+			if diamond {
+				val = val || bit
+			} else {
+				val = val && bit
+			}
+		}
+		for m := 0; m <= h; m++ {
+			out.Set(base+m, val)
+		}
+	}
+	return out
+}
+
+// evalSuffix computes the future-time modalities: □ f (diamond=false,
+// f at every time ≥ now) and ◇ f (diamond=true, f at some time ≥ now).
+func (e *Evaluator) evalSuffix(ft *Bits, diamond bool) *Bits {
+	np := e.sys.NumPoints()
+	out := NewBits(np)
+	h := e.sys.Horizon
+	for r := 0; r < e.sys.NumRuns(); r++ {
+		base := r * (h + 1)
+		val := !diamond
+		for m := h; m >= 0; m-- {
+			bit := ft.Get(base + m)
+			if diamond {
+				val = val || bit
+			} else {
+				val = val && bit
+			}
+			out.Set(base+m, val)
+		}
+	}
+	return out
+}
+
+// evalEDiamond computes E◇_S f = ∧_{i∈S(pt)} ◇ B^S_i f.
+func (e *Evaluator) evalEDiamond(s NonrigidSet, ft *Bits) *Bits {
+	n := e.sys.Params.N
+	futures := make([]*Bits, n)
+	for i := 0; i < n; i++ {
+		futures[i] = e.evalSuffix(e.evalK(types.ProcID(i), ft, s), true)
+	}
+	smem := e.membersTable(s)
+	out := NewBits(e.sys.NumPoints())
+	for idx := 0; idx < e.sys.NumPoints(); idx++ {
+		ok := true
+		smem[idx].ForEach(func(p types.ProcID) bool {
+			if !futures[p].Get(idx) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		out.Set(idx, ok)
+	}
+	return out
+}
+
+// evalCDiamond computes eventual common knowledge as the greatest
+// fixed point of X = E◇_S(f ∧ X) by downward iteration (the system is
+// finite, so the iteration terminates).
+func (e *Evaluator) evalCDiamond(s NonrigidSet, ft *Bits) *Bits {
+	x := NewBits(e.sys.NumPoints())
+	x.Fill(true)
+	for {
+		arg := ft.Clone()
+		arg.AndWith(x)
+		next := e.evalEDiamond(s, arg)
+		if next.Equal(x) {
+			return x
+		}
+		x = next
+	}
+}
+
+// runComponents returns (caching) the union-find over runs whose
+// components are the S-□-reachability classes of Corollary 3.3: runs
+// r, r' are joined iff some processor i is in S at a point of each
+// with the same view at both.
+func (e *Evaluator) runComponents(s NonrigidSet) *unionFind {
+	if uf, ok := e.runComp[s]; ok {
+		return uf
+	}
+	smem := e.membersTable(s)
+	uf := newUnionFind(e.sys.NumRuns())
+	seen := make(map[views.ID]bool)
+	e.sys.ForEachPoint(func(pt system.Point) {
+		idx := e.sys.PointIndex(pt)
+		smem[idx].ForEach(func(i types.ProcID) bool {
+			id := e.sys.ViewAt(pt, i)
+			if seen[id] {
+				return true
+			}
+			seen[id] = true
+			first := -1
+			for _, q := range e.sys.PointsWithView(id) {
+				if !smem[e.sys.PointIndex(q)].Contains(i) {
+					continue
+				}
+				if first < 0 {
+					first = q.Run
+				} else {
+					uf.union(first, q.Run)
+				}
+			}
+			return true
+		})
+	})
+	e.runComp[s] = uf
+	return uf
+}
+
+// evalCBox computes C□_S f by Corollary 3.3: C□_S f holds at a point
+// of run r iff f holds at every S-occupied point of every run
+// S-□-reachable from r. Runs with no S-occupied points reach nothing,
+// so C□_S f holds there vacuously. The value is constant per run
+// (Lemma 3.4(g)).
+func (e *Evaluator) evalCBox(s NonrigidSet, ft *Bits) *Bits {
+	smem := e.membersTable(s)
+	uf := e.runComponents(s)
+	h := e.sys.Horizon
+	np := e.sys.NumPoints()
+
+	// occupied[r]: whether run r has any S-occupied point.
+	// compAll[root]: f holds at every S-occupied point of the
+	// component's runs.
+	occupied := make([]bool, e.sys.NumRuns())
+	compAll := make(map[int]bool)
+	for r := 0; r < e.sys.NumRuns(); r++ {
+		base := r * (h + 1)
+		for m := 0; m <= h; m++ {
+			if !smem[base+m].Empty() {
+				occupied[r] = true
+				root := uf.find(r)
+				v, ok := compAll[root]
+				if !ok {
+					v = true
+				}
+				compAll[root] = v && ft.Get(base+m)
+			}
+		}
+	}
+	out := NewBits(np)
+	for r := 0; r < e.sys.NumRuns(); r++ {
+		val := true
+		if occupied[r] {
+			val = compAll[uf.find(r)]
+		}
+		if val {
+			base := r * (h + 1)
+			for m := 0; m <= h; m++ {
+				out.Set(base+m, true)
+			}
+		}
+	}
+	return out
+}
+
+// CIterConvergence measures the depth of the infinite conjunction
+// defining common knowledge: it computes E_S^k φ level by level,
+// accumulating ∧_{j≤k} E_S^j φ, and returns the first k at which the
+// accumulated table equals the reachability-computed C_S φ. It
+// returns ok=false if the conjunction has not converged within
+// maxDepth levels (never observed on finite systems; the bound guards
+// the loop).
+func (e *Evaluator) CIterConvergence(s NonrigidSet, f Formula, maxDepth int) (depth int, ok bool) {
+	final := e.Eval(C(s, f))
+	cur := e.evalE(s, e.Eval(f))
+	acc := cur.Clone()
+	for k := 1; k <= maxDepth; k++ {
+		if acc.Equal(final) {
+			return k, true
+		}
+		cur = e.evalE(s, cur)
+		acc.AndWith(cur)
+	}
+	return maxDepth, acc.Equal(final)
+}
+
+// CBoxIterative computes C□_S f by the definitional iteration
+// X_0 = ⊤, X_{k+1} = E□_S(f ∧ X_k) until a fixed point, without the
+// reachability shortcut. It exists as a cross-check (tests) and an
+// ablation benchmark; Eval(CBox(s, f)) is the fast path.
+func (e *Evaluator) CBoxIterative(s NonrigidSet, f Formula) *Bits {
+	ft := e.Eval(f)
+	x := NewBits(e.sys.NumPoints())
+	x.Fill(true)
+	for {
+		arg := ft.Clone()
+		arg.AndWith(x)
+		next := e.evalBox(e.evalE(s, arg), false)
+		if next.Equal(x) {
+			return x
+		}
+		x = next
+	}
+}
+
+// unionFind is a standard disjoint-set structure.
+type unionFind struct {
+	parent []int
+	rank   []uint8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]uint8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

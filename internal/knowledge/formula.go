@@ -1,0 +1,255 @@
+package knowledge
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// Formula is a sentence of the paper's epistemic language. Formulas
+// are immutable trees built with the constructors below; evaluators
+// memoize truth tables by node identity, so sharing subformulas makes
+// evaluation cheaper.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+type atomF struct {
+	name string
+	pred func(sys *system.System, pt system.Point) bool
+}
+
+type constF struct{ v bool }
+
+type notF struct{ f Formula }
+
+type andF struct{ fs []Formula }
+
+type orF struct{ fs []Formula }
+
+type kF struct {
+	i types.ProcID
+	f Formula
+}
+
+type bF struct {
+	i types.ProcID
+	s NonrigidSet
+	f Formula
+}
+
+type eF struct {
+	s NonrigidSet
+	f Formula
+}
+
+type cF struct {
+	s NonrigidSet
+	f Formula
+}
+
+type boxF struct{ f Formula }
+
+type diamondF struct{ f Formula }
+
+type cboxF struct {
+	s NonrigidSet
+	f Formula
+}
+
+type henceforthF struct{ f Formula }
+
+type futureF struct{ f Formula }
+
+type ediamondF struct {
+	s NonrigidSet
+	f Formula
+}
+
+type cdiamondF struct {
+	s NonrigidSet
+	f Formula
+}
+
+func (*atomF) isFormula()       {}
+func (*constF) isFormula()      {}
+func (*notF) isFormula()        {}
+func (*andF) isFormula()        {}
+func (*orF) isFormula()         {}
+func (*kF) isFormula()          {}
+func (*bF) isFormula()          {}
+func (*eF) isFormula()          {}
+func (*cF) isFormula()          {}
+func (*boxF) isFormula()        {}
+func (*diamondF) isFormula()    {}
+func (*cboxF) isFormula()       {}
+func (*henceforthF) isFormula() {}
+func (*futureF) isFormula()     {}
+func (*ediamondF) isFormula()   {}
+func (*cdiamondF) isFormula()   {}
+
+func (f *atomF) String() string  { return f.name }
+func (f *constF) String() string { return map[bool]string{true: "⊤", false: "⊥"}[f.v] }
+func (f *notF) String() string   { return "¬" + f.f.String() }
+func (f *andF) String() string   { return join(f.fs, " ∧ ") }
+func (f *orF) String() string    { return join(f.fs, " ∨ ") }
+func (f *kF) String() string     { return fmt.Sprintf("K_%d %s", f.i, f.f) }
+func (f *bF) String() string     { return fmt.Sprintf("B^%s_%d %s", f.s.Name(), f.i, f.f) }
+func (f *eF) String() string     { return fmt.Sprintf("E_%s %s", f.s.Name(), f.f) }
+func (f *cF) String() string     { return fmt.Sprintf("C_%s %s", f.s.Name(), f.f) }
+func (f *boxF) String() string   { return "□̂ " + f.f.String() }
+func (f *diamondF) String() string {
+	return "◇̂ " + f.f.String()
+}
+func (f *cboxF) String() string       { return fmt.Sprintf("C□_%s %s", f.s.Name(), f.f) }
+func (f *henceforthF) String() string { return "□ " + f.f.String() }
+func (f *futureF) String() string     { return "◇ " + f.f.String() }
+func (f *ediamondF) String() string   { return fmt.Sprintf("E◇_%s %s", f.s.Name(), f.f) }
+func (f *cdiamondF) String() string   { return fmt.Sprintf("C◇_%s %s", f.s.Name(), f.f) }
+
+func join(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Atom builds a primitive proposition from an arbitrary point
+// predicate.
+func Atom(name string, pred func(sys *system.System, pt system.Point) bool) Formula {
+	return &atomF{name: name, pred: pred}
+}
+
+// True is the constant ⊤.
+func True() Formula { return trueF }
+
+// False is the constant ⊥.
+func False() Formula { return falseF }
+
+var (
+	trueF  = &constF{v: true}
+	falseF = &constF{v: false}
+)
+
+// Not is negation.
+func Not(f Formula) Formula { return &notF{f: f} }
+
+// And is conjunction.
+func And(fs ...Formula) Formula { return &andF{fs: fs} }
+
+// Or is disjunction.
+func Or(fs ...Formula) Formula { return &orF{fs: fs} }
+
+// Implies is material implication.
+func Implies(a, b Formula) Formula { return Or(Not(a), b) }
+
+// Iff is material equivalence.
+func Iff(a, b Formula) Formula { return And(Implies(a, b), Implies(b, a)) }
+
+// K is the knowledge operator: K_i φ holds at (r, m) iff φ holds at
+// every point where processor i has the same state.
+func K(i types.ProcID, f Formula) Formula { return &kF{i: i, f: f} }
+
+// B is belief relative to a nonrigid set: B^S_i φ = K_i(i ∈ S ⇒ φ).
+func B(i types.ProcID, s NonrigidSet, f Formula) Formula { return &bF{i: i, s: s, f: f} }
+
+// E is "everyone in S believes": E_S φ = ∧_{i ∈ S} B^S_i φ. It holds
+// vacuously where S is empty.
+func E(s NonrigidSet, f Formula) Formula { return &eF{s: s, f: f} }
+
+// C is common knowledge among the nonrigid set S: the infinite
+// conjunction ∧_k E_S^k φ, computed by reachability.
+func C(s NonrigidSet, f Formula) Formula { return &cF{s: s, f: f} }
+
+// Box is the paper's □̂: φ holds at all times of the run — past,
+// present, and future.
+func Box(f Formula) Formula { return &boxF{f: f} }
+
+// Diamond is the dual ◇̂: φ holds at some time of the run.
+func Diamond(f Formula) Formula { return &diamondF{f: f} }
+
+// EBox is E□_S φ = □̂ E_S φ.
+func EBox(s NonrigidSet, f Formula) Formula { return Box(E(s, f)) }
+
+// CBox is continual common knowledge: C□_S φ = ∧_k (E□_S)^k φ,
+// computed by the S-□-reachability characterization (Corollary 3.3).
+func CBox(s NonrigidSet, f Formula) Formula { return &cboxF{s: s, f: f} }
+
+// Henceforth is the standard future-time □: φ holds now and at all
+// later times of the run. (The paper writes □ψ for "always ψ",
+// restricted to present and future, in contrast to □̂.)
+func Henceforth(f Formula) Formula { return &henceforthF{f: f} }
+
+// Future is the standard ◇: φ holds now or at some later time of the
+// run ("eventually φ").
+func Future(f Formula) Formula { return &futureF{f: f} }
+
+// EDiamond is E◇_S φ: everyone in S will eventually believe φ —
+// ∧_{i∈S(r,m)} ◇ B^S_i φ. It is the building block of eventual common
+// knowledge (HM90; discussed in Section 3.2 of the paper).
+func EDiamond(s NonrigidSet, f Formula) Formula { return &ediamondF{s: s, f: f} }
+
+// CDiamond is eventual common knowledge C◇_S φ: the greatest fixed
+// point of X ↔ E◇_S(φ ∧ X). Section 3.2 shows it is too weak a basis
+// for EBA decisions — the motivation for C□. On finite-horizon
+// systems ◇ is evaluated over the enumerated prefix; facts involving
+// C◇ near the horizon are therefore approximate (see DESIGN.md).
+func CDiamond(s NonrigidSet, f Formula) Formula { return &cdiamondF{s: s, f: f} }
+
+// Exists0 is the basic fact ∃0: some processor started with 0.
+func Exists0() Formula { return existsVal(types.Zero) }
+
+// Exists1 is the basic fact ∃1.
+func Exists1() Formula { return existsVal(types.One) }
+
+var (
+	exists0F = &atomF{name: "∃0", pred: func(sys *system.System, pt system.Point) bool {
+		return sys.RunOf(pt).Config.HasValue(types.Zero)
+	}}
+	exists1F = &atomF{name: "∃1", pred: func(sys *system.System, pt system.Point) bool {
+		return sys.RunOf(pt).Config.HasValue(types.One)
+	}}
+)
+
+func existsVal(v types.Value) Formula {
+	if v == types.Zero {
+		return exists0F
+	}
+	return exists1F
+}
+
+// InitialIs holds at points of runs where processor p started with v.
+func InitialIs(p types.ProcID, v types.Value) Formula {
+	return Atom(fmt.Sprintf("init_%d=%s", p, v), func(sys *system.System, pt system.Point) bool {
+		return sys.RunOf(pt).Config[p] == v
+	})
+}
+
+// IsNonfaulty holds at points of runs where p never fails.
+func IsNonfaulty(p types.ProcID) Formula {
+	return Atom(fmt.Sprintf("%d∈𝒩", p), func(sys *system.System, pt system.Point) bool {
+		return sys.RunOf(pt).Nonfaulty().Contains(p)
+	})
+}
+
+// ViewAtom holds at a point iff pred holds of processor p's view
+// there. Decision facts like decide_i(v) are ViewAtoms (a decision
+// depends only on the local state, Proposition 4.1).
+func ViewAtom(name string, p types.ProcID, pred func(in *views.Interner, id views.ID) bool) Formula {
+	return Atom(name, func(sys *system.System, pt system.Point) bool {
+		return pred(sys.Interner, sys.ViewAt(pt, p))
+	})
+}
+
+// SetEmpty holds at points where the nonrigid set S is empty; the
+// paper's proofs use facts like (𝒩 ∧ 𝒵) = ∅.
+func SetEmpty(s NonrigidSet) Formula {
+	return Atom(s.Name()+"=∅", func(sys *system.System, pt system.Point) bool {
+		return s.Members(sys, pt).Empty()
+	})
+}

@@ -1,0 +1,454 @@
+package knowledge
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+func crashSys(t *testing.T, n, tt, h int) *system.System {
+	t.Helper()
+	sys, err := system.Enumerate(types.Params{N: n, T: tt}, failures.Crash, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func omissionSys(t *testing.T, n, tt, h int) *system.System {
+	t.Helper()
+	sys, err := system.Enumerate(types.Params{N: n, T: tt}, failures.Omission, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(130)
+	if b.Any() || b.All() || b.Count() != 0 {
+		t.Fatal("fresh bits not empty")
+	}
+	b.Set(0, true)
+	b.Set(129, true)
+	if !b.Get(0) || !b.Get(129) || b.Get(64) || b.Count() != 2 {
+		t.Fatal("set/get wrong")
+	}
+	c := b.Clone()
+	c.NotSelf()
+	if c.Get(0) || !c.Get(64) || c.Count() != 128 {
+		t.Fatal("NotSelf wrong")
+	}
+	c.OrWith(b)
+	if !c.All() {
+		t.Fatal("OrWith wrong")
+	}
+	c.AndWith(b)
+	if !c.Equal(b) {
+		t.Fatal("AndWith/Equal wrong")
+	}
+	b.Fill(true)
+	if !b.All() || b.Count() != 130 {
+		t.Fatal("Fill wrong")
+	}
+	if b.Equal(NewBits(5)) {
+		t.Fatal("Equal across sizes")
+	}
+	b.Set(7, false)
+	if b.Get(7) {
+		t.Fatal("Set false wrong")
+	}
+}
+
+func TestAtomsAndBooleans(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	if !e.Valid(Or(Exists0(), Exists1())) {
+		t.Fatal("every config has a 0 or a 1")
+	}
+	if e.Valid(Exists0()) {
+		t.Fatal("∃0 is not valid")
+	}
+	if !e.Valid(Implies(And(Exists0(), Not(Exists1())), InitialIs(0, types.Zero))) {
+		t.Fatal("all-zero configs give everyone 0")
+	}
+	if !e.Valid(Iff(True(), Not(False()))) {
+		t.Fatal("constants wrong")
+	}
+	if _, found := e.FailingPoint(True()); found {
+		t.Fatal("True fails somewhere")
+	}
+	if _, found := e.FailingPoint(Exists0()); !found {
+		t.Fatal("no failing point for ∃0")
+	}
+	// Memoization returns the same table.
+	f := Exists0()
+	if e.Eval(f) != e.Eval(f) {
+		t.Fatal("memo miss")
+	}
+}
+
+// Knowledge of ∃0 is exactly "a 0 is recorded in the view": the
+// syntactic and semantic tests coincide on exhaustive systems.
+func TestKnowledgeMatchesViewContent(t *testing.T) {
+	for _, mode := range []failures.Mode{failures.Crash, failures.Omission} {
+		var sys *system.System
+		if mode == failures.Crash {
+			sys = crashSys(t, 3, 1, 2)
+		} else {
+			sys = omissionSys(t, 3, 1, 2)
+		}
+		e := NewEvaluator(sys)
+		for i := types.ProcID(0); i < 3; i++ {
+			kTbl := e.Eval(K(i, Exists0()))
+			sys.ForEachPoint(func(pt system.Point) {
+				syntactic := sys.Interner.Knows(sys.ViewAt(pt, i), types.Zero)
+				semantic := kTbl.Get(sys.PointIndex(pt))
+				if syntactic != semantic {
+					t.Fatalf("%v proc %d at %v: syntactic %v, semantic %v",
+						mode, i, pt, syntactic, semantic)
+				}
+			})
+		}
+	}
+}
+
+// B^N_i(j ∉ N) coincides with recorded fault evidence.
+func TestFaultKnowledgeMatchesEvidence(t *testing.T) {
+	for _, mode := range []failures.Mode{failures.Crash, failures.Omission} {
+		var sys *system.System
+		if mode == failures.Crash {
+			sys = crashSys(t, 3, 1, 2)
+		} else {
+			sys = omissionSys(t, 3, 1, 2)
+		}
+		e := NewEvaluator(sys)
+		for i := types.ProcID(0); i < 3; i++ {
+			for j := types.ProcID(0); j < 3; j++ {
+				if i == j {
+					continue
+				}
+				bTbl := e.Eval(B(i, Nonfaulty(), Not(IsNonfaulty(j))))
+				sys.ForEachPoint(func(pt system.Point) {
+					ev := sys.Interner.FaultEvidence(sys.ViewAt(pt, i))
+					// B^N_i is vacuously true when i knows itself
+					// faulty; otherwise it coincides with recorded
+					// evidence against j.
+					syntactic := ev.Contains(j) || ev.Contains(i)
+					semantic := bTbl.Get(sys.PointIndex(pt))
+					if syntactic != semantic {
+						t.Fatalf("%v: B^N_%d(%d∉N) at %v: syntactic %v, semantic %v",
+							mode, i, j, pt, syntactic, semantic)
+					}
+				})
+			}
+		}
+	}
+}
+
+// Proposition 3.1: the S5 properties of K_i.
+func TestS5Axioms(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	phis := []Formula{
+		Exists0(), Exists1(), InitialIs(1, types.One), IsNonfaulty(2),
+		And(Exists0(), Not(IsNonfaulty(0))),
+	}
+	psis := []Formula{Exists1(), Not(Exists0())}
+	for i := types.ProcID(0); i < 3; i++ {
+		for _, phi := range phis {
+			if !e.Valid(Implies(K(i, phi), phi)) {
+				t.Fatalf("knowledge axiom fails: K_%d %s", i, phi)
+			}
+			if !e.Valid(Implies(K(i, phi), K(i, K(i, phi)))) {
+				t.Fatalf("positive introspection fails: %s", phi)
+			}
+			if !e.Valid(Implies(Not(K(i, phi)), K(i, Not(K(i, phi))))) {
+				t.Fatalf("negative introspection fails: %s", phi)
+			}
+			for _, psi := range psis {
+				dist := Implies(And(K(i, phi), K(i, Implies(phi, psi))), K(i, psi))
+				if !e.Valid(dist) {
+					t.Fatalf("distribution fails: %s, %s", phi, psi)
+				}
+			}
+		}
+		// Generalization: a valid formula is known.
+		valid := Or(Exists0(), Not(Exists0()))
+		if !e.Valid(K(i, valid)) {
+			t.Fatal("generalization fails")
+		}
+	}
+}
+
+// Lemma 3.4: the K45 properties of continual common knowledge, plus
+// the fixed-point axiom and □̂-invariance.
+func TestCBoxAxioms(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	nf := Nonfaulty()
+	knowsZero := Intersect(nf, FromViews("Kn0", func(in *views.Interner, id views.ID) bool {
+		return in.Knows(id, types.Zero)
+	}))
+	sets := []NonrigidSet{nf, knowsZero, Const("∅", types.EmptySet)}
+	phis := []Formula{Exists0(), Exists1(), Not(Exists0())}
+	psis := []Formula{Exists1()}
+	for _, s := range sets {
+		for _, phi := range phis {
+			cb := CBox(s, phi)
+			if !e.Valid(Implies(cb, CBox(s, cb))) {
+				t.Fatalf("positive introspection fails for C□_%s %s", s.Name(), phi)
+			}
+			if !e.Valid(Implies(Not(cb), CBox(s, Not(cb)))) {
+				t.Fatalf("negative introspection fails for C□_%s %s", s.Name(), phi)
+			}
+			if !e.Valid(Implies(cb, EBox(s, And(phi, cb)))) {
+				t.Fatalf("fixed-point axiom fails for C□_%s %s", s.Name(), phi)
+			}
+			if !e.Valid(Implies(cb, Box(cb))) {
+				t.Fatalf("□̂-invariance fails for C□_%s %s", s.Name(), phi)
+			}
+			for _, psi := range psis {
+				dist := Implies(And(cb, CBox(s, Implies(phi, psi))), CBox(s, psi))
+				if !e.Valid(dist) {
+					t.Fatalf("distribution fails for C□_%s", s.Name())
+				}
+			}
+			// Induction rule, instantiated with the fixed point itself:
+			// C□ψ ⇒ E□(C□ψ ∧ ψ) holds, so C□ψ ⇒ C□ψ must too (sanity).
+			if !e.Valid(Implies(cb, cb)) {
+				t.Fatal("reflexive implication fails")
+			}
+		}
+		// Generalization: valid formulas are continually common
+		// knowledge.
+		if !e.Valid(CBox(s, Or(Exists0(), Not(Exists0())))) {
+			t.Fatalf("generalization fails for %s", s.Name())
+		}
+	}
+	// On the empty set everything is continual common knowledge.
+	if !e.Valid(CBox(Const("∅", types.EmptySet), False())) {
+		t.Fatal("empty-set C□ should be vacuous")
+	}
+}
+
+// C□ is strictly stronger than C (Section 3.3).
+func TestCBoxStrictlyStrongerThanC(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	nf := Nonfaulty()
+	for _, phi := range []Formula{Exists0(), Exists1()} {
+		if !e.Valid(Implies(CBox(nf, phi), C(nf, phi))) {
+			t.Fatalf("C□ ⇒ C fails for %s", phi)
+		}
+	}
+	// Converse fails: ∃1 becomes common knowledge by time t+1 in runs
+	// with a visible 1 (e.g. failure-free), but C□_𝒩 ∃1 holds nowhere —
+	// S-□-reachability passes through time-0 states into runs with a 0.
+	cTbl := e.Eval(C(nf, Exists1()))
+	cbTbl := e.Eval(CBox(nf, Exists1()))
+	if cbTbl.Any() {
+		t.Fatal("C□_𝒩 ∃1 should hold nowhere in this system")
+	}
+	witness := false
+	for i := 0; i < cTbl.Len(); i++ {
+		if cTbl.Get(i) && !cbTbl.Get(i) {
+			witness = true
+			break
+		}
+	}
+	if !witness {
+		t.Fatal("no point separates C from C□")
+	}
+	// Sanity: the failure-free all-ones run attains C_𝒩 ∃1 at time 2
+	// (= t+1), the clean-round bound of DM90.
+	ffRun, ok := sys.FindRun(types.ConfigFromBits(3, 0b111), failures.FailureFree(failures.Crash, 3, 2).Key())
+	if !ok {
+		t.Fatal("failure-free run missing")
+	}
+	if !e.Holds(C(nf, Exists1()), system.Point{Run: ffRun.Index, Time: 2}) {
+		t.Fatal("C_𝒩 ∃1 should hold at time t+1 of the failure-free all-ones run")
+	}
+	if e.Holds(C(nf, Exists1()), system.Point{Run: ffRun.Index, Time: 1}) {
+		t.Fatal("C_𝒩 ∃1 should not yet hold at time 1 (an invisible crash may lurk)")
+	}
+}
+
+func TestBoxDiamond(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	// ∃0 is a run-constant fact: □̂∃0 ⟺ ∃0 ⟺ ◇̂∃0.
+	if !e.Valid(Iff(Box(Exists0()), Exists0())) || !e.Valid(Iff(Diamond(Exists0()), Exists0())) {
+		t.Fatal("box/diamond on run-constant facts wrong")
+	}
+	// "Processor 0 heard from everyone this round" varies with time.
+	heardAll := ViewAtom("heard-all", 0, func(in *views.Interner, id views.ID) bool {
+		return in.HeardFrom(id) == types.SetOf(1, 2)
+	})
+	if e.Valid(Iff(Box(heardAll), heardAll)) {
+		t.Fatal("time-varying atom should distinguish □̂")
+	}
+	if !e.Valid(Implies(Box(heardAll), heardAll)) || !e.Valid(Implies(heardAll, Diamond(heardAll))) {
+		t.Fatal("box/diamond ordering wrong")
+	}
+}
+
+func TestEVacuousOnEmptySet(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	if !e.Valid(E(Const("∅", types.EmptySet), False())) {
+		t.Fatal("E over the empty set must hold vacuously")
+	}
+	// B^S_i with i never in S is vacuous too.
+	if !e.Valid(B(0, Const("{1}", types.SetOf(1)), False())) {
+		t.Fatal("B^S_i with i ∉ S must hold vacuously")
+	}
+}
+
+// The reachability computation of C□ agrees with the definitional
+// iteration X_{k+1} = E□(φ ∧ X_k) on both failure modes.
+func TestCBoxMatchesIterative(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sys  *system.System
+	}{
+		{"crash", crashSys(t, 3, 1, 2)},
+		{"omission", omissionSys(t, 3, 1, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEvaluator(tc.sys)
+			nf := Nonfaulty()
+			believes0 := Intersect(nf, FromViews("B∃0*", func(in *views.Interner, id views.ID) bool {
+				return in.BelievesExistsZeroStar(id)
+			}))
+			for _, s := range []NonrigidSet{nf, believes0} {
+				for _, phi := range []Formula{Exists0(), Exists1(), Not(Exists0())} {
+					fast := e.Eval(CBox(s, phi))
+					slow := e.CBoxIterative(s, phi)
+					if !fast.Equal(slow) {
+						t.Fatalf("C□_%s %s: reachability and iteration disagree", s.Name(), phi)
+					}
+				}
+			}
+		})
+	}
+}
+
+// C obeys the fixed-point property C_Sφ ⇒ E_S(φ ∧ C_Sφ) and the
+// knowledge axiom where S is nonempty.
+func TestCFixedPoint(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	nf := Nonfaulty()
+	for _, phi := range []Formula{Exists0(), Exists1()} {
+		cf := C(nf, phi)
+		if !e.Valid(Implies(cf, E(nf, And(phi, cf)))) {
+			t.Fatalf("C fixed point fails for %s", phi)
+		}
+		// 𝒩 is nonempty in every run here (t=1 < n), so C_𝒩φ ⇒ φ.
+		if !e.Valid(Implies(cf, phi)) {
+			t.Fatalf("C knowledge axiom fails for %s", phi)
+		}
+	}
+}
+
+// C_S satisfies K45 plus the induction-style fixed point; the
+// knowledge axiom holds only where S is nonempty (the footnote to
+// Corollary 3.3).
+func TestCAxiomsK45(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	nf := Nonfaulty()
+	knows0 := Intersect(nf, FromViews("Kn0", func(in *views.Interner, id views.ID) bool {
+		return in.Knows(id, types.Zero)
+	}))
+	for _, s := range []NonrigidSet{nf, knows0} {
+		for _, phi := range []Formula{Exists0(), Exists1()} {
+			c := C(s, phi)
+			if !e.Valid(Implies(c, C(s, c))) {
+				t.Fatalf("C positive introspection fails for %s over %s", phi, s.Name())
+			}
+			if !e.Valid(Implies(Not(c), C(s, Not(c)))) {
+				t.Fatalf("C negative introspection fails for %s over %s", phi, s.Name())
+			}
+			dist := Implies(And(c, C(s, Implies(phi, Exists1()))), C(s, Exists1()))
+			if !e.Valid(dist) {
+				t.Fatalf("C distribution fails for %s over %s", phi, s.Name())
+			}
+		}
+	}
+	// Knowledge axiom: valid over 𝒩 (never empty at t < n), invalid
+	// over 𝒩∧Kn0 (empty wherever nobody knows a 0: C_S φ vacuous).
+	if !e.Valid(Implies(C(nf, Exists0()), Exists0())) {
+		t.Fatal("C_𝒩 knowledge axiom fails")
+	}
+	if e.Valid(Implies(C(knows0, Exists0()), Exists0())) {
+		t.Fatal("C over an occasionally-empty set should not satisfy the knowledge axiom")
+	}
+	// Generalization.
+	if !e.Valid(C(nf, Or(Exists0(), Not(Exists0())))) {
+		t.Fatal("C generalization fails")
+	}
+}
+
+// Common knowledge, defined as the infinite conjunction ∧_k E^k φ,
+// converges at finite depth on finite systems, and the converged
+// conjunction equals the reachability computation.
+func TestCIterConvergence(t *testing.T) {
+	for _, mode := range []string{"crash", "omission"} {
+		var sys *system.System
+		if mode == "crash" {
+			sys = crashSys(t, 3, 1, 2)
+		} else {
+			sys = omissionSys(t, 3, 1, 2)
+		}
+		e := NewEvaluator(sys)
+		nf := Nonfaulty()
+		for _, phi := range []Formula{Exists0(), Exists1()} {
+			depth, ok := e.CIterConvergence(nf, phi, sys.NumPoints())
+			if !ok {
+				t.Fatalf("%s: conjunction for %s did not converge", mode, phi)
+			}
+			if depth < 1 || depth > sys.NumPoints() {
+				t.Fatalf("%s: absurd convergence depth %d", mode, depth)
+			}
+			t.Logf("%s: C_𝒩 %s converges at depth %d", mode, phi, depth)
+		}
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	nf := Nonfaulty()
+	f := Implies(CBox(nf, Exists0()), C(nf, Or(Exists1(), Not(K(1, B(2, nf, True()))))))
+	s := f.String()
+	for _, want := range []string{"C□_𝒩", "∃0", "C_𝒩", "∃1", "K_1", "B^𝒩_2", "⊤"} {
+		if !contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+	if Box(Exists0()).String() == "" || Diamond(Exists0()).String() == "" || False().String() != "⊥" {
+		t.Fatal("modal strings empty")
+	}
+	if SetEmpty(nf).String() != "𝒩=∅" {
+		t.Fatalf("SetEmpty name = %q", SetEmpty(nf).String())
+	}
+	if Intersect(nf, Const("X", 0)).Name() != "(𝒩∧X)" {
+		t.Fatal("Intersect name wrong")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

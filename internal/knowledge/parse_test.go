@@ -1,0 +1,126 @@
+package knowledge
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRendersAndEvaluates(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	tests := []struct {
+		src   string
+		valid bool
+	}{
+		{"E0 | !E0", true},
+		{"E0 & !E0", false},
+		{"K0 E0 -> E0", true},
+		{"E0 -> K0 E0", false},
+		{"Cbox E0 -> C E0", true},
+		{"C E0 -> Cbox E0", false},
+		{"C E1 -> Cdia E1", true},
+		{"box E0 <-> E0", true},
+		{"alw E0 -> ev E0", true},
+		{"B0 (E0 & E1) -> B0 E0", true},
+		{"(K1 E1 & K1 (E1 -> E0)) -> K1 E0", true},
+		{"!K2 E0 -> K2 !K2 E0", true},
+		{"init0=1 -> E1", true},
+		{"nf0 | nf1 | nf2", true},
+		{"knows1=0 -> K1 E0", true},
+		{"dia knows0=0 <-> ev knows0=0 | !ev knows0=0 & dia knows0=0", true},
+		{"E E0 -> C E0", false},
+		{"C E0 -> E E0", true},
+	}
+	for _, tt := range tests {
+		f, err := Parse(tt.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tt.src, err)
+		}
+		if got := e.Valid(f); got != tt.valid {
+			t.Errorf("Valid(%q) = %v, want %v (parsed: %s)", tt.src, got, tt.valid, f)
+		}
+	}
+}
+
+func TestParsePrecedenceAndAssociativity(t *testing.T) {
+	// -> is right-associative: a -> b -> c == a -> (b -> c).
+	f, err := Parse("E0 -> E1 -> E0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := crashSys(t, 3, 1, 2)
+	if !NewEvaluator(sys).Valid(f) {
+		t.Fatal("right-associative implication should make this valid")
+	}
+	// & binds tighter than |.
+	g, err := Parse("E0 & false | E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Or(And(Exists0(), False()), Exists1())
+	e := NewEvaluator(sys)
+	if !e.Eval(g).Equal(e.Eval(h)) {
+		t.Fatal("precedence wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(E0",
+		"E0 )",
+		"E0 &",
+		"-> E0",
+		"K E0",
+		"Kx E0",
+		"init0 E0",
+		"init0=5",
+		"knows=1",
+		"gibberish",
+		"! ",
+		"E0 E1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestParsedModalitiesMatchConstructors(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	nf := Nonfaulty()
+	pairs := []struct {
+		src  string
+		want Formula
+	}{
+		{"K1 E0", K(1, Exists0())},
+		{"B2 E1", B(2, nf, Exists1())},
+		{"E E0", E(nf, Exists0())},
+		{"C E0", C(nf, Exists0())},
+		{"Cbox E1", CBox(nf, Exists1())},
+		{"Cdia E1", CDiamond(nf, Exists1())},
+		{"box E0", Box(Exists0())},
+		{"dia E0", Diamond(Exists0())},
+		{"alw E0", Henceforth(Exists0())},
+		{"ev E0", Future(Exists0())},
+	}
+	for _, p := range pairs {
+		got, err := Parse(p.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.src, err)
+		}
+		if !e.Eval(got).Equal(e.Eval(p.want)) {
+			t.Errorf("Parse(%q) differs from constructor (got %s)", p.src, got)
+		}
+	}
+	// Nested formula sanity: rendering mentions the right pieces.
+	f, err := Parse("B0 (E0 & Cbox E0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.String(), "C□_𝒩") {
+		t.Fatalf("rendered: %s", f)
+	}
+}

@@ -1,0 +1,117 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// randomFormula draws a random formula of bounded depth over the
+// standard atoms, the boolean connectives, and every operator RefHolds
+// supports.
+func randomFormula(rng *rand.Rand, n, depth int) Formula {
+	if depth == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return Exists0()
+		case 1:
+			return Exists1()
+		case 2:
+			return InitialIs(types.ProcID(rng.Intn(n)), types.Value(rng.Intn(2)))
+		case 3:
+			return IsNonfaulty(types.ProcID(rng.Intn(n)))
+		default:
+			return ViewAtom("heard≥1", types.ProcID(rng.Intn(n)),
+				func(in *views.Interner, id views.ID) bool { return in.HeardFrom(id).Len() >= 1 })
+		}
+	}
+	sub := func() Formula { return randomFormula(rng, n, depth-1) }
+	sets := []NonrigidSet{
+		Nonfaulty(),
+		Intersect(Nonfaulty(), FromViews("Kn0", func(in *views.Interner, id views.ID) bool {
+			return in.Knows(id, types.Zero)
+		})),
+	}
+	s := sets[rng.Intn(len(sets))]
+	switch rng.Intn(12) {
+	case 0:
+		return Not(sub())
+	case 1:
+		return And(sub(), sub())
+	case 2:
+		return Or(sub(), sub())
+	case 3:
+		return K(types.ProcID(rng.Intn(n)), sub())
+	case 4:
+		return B(types.ProcID(rng.Intn(n)), s, sub())
+	case 5:
+		return E(s, sub())
+	case 6:
+		return C(s, sub())
+	case 7:
+		return Box(sub())
+	case 8:
+		return Diamond(sub())
+	case 9:
+		return Henceforth(sub())
+	case 10:
+		return Future(sub())
+	default:
+		return CBox(s, sub())
+	}
+}
+
+// TestEvaluatorMatchesReference differentially tests the table-based
+// Evaluator against the direct-definition RefHolds on random formulas
+// and points.
+func TestEvaluatorMatchesReference(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	rng := rand.New(rand.NewSource(20260705))
+	const formulas = 60
+	for fi := 0; fi < formulas; fi++ {
+		f := randomFormula(rng, 3, 1+rng.Intn(2))
+		tbl := e.Eval(f)
+		// Spot-check a sample of points (RefHolds on C/C□ formulas is
+		// expensive).
+		for s := 0; s < 40; s++ {
+			pt := sys.PointAt(rng.Intn(sys.NumPoints()))
+			want := RefHolds(sys, f, pt)
+			got := tbl.Get(sys.PointIndex(pt))
+			if got != want {
+				t.Fatalf("formula %s at %v: evaluator %v, reference %v", f, pt, got, want)
+			}
+		}
+	}
+}
+
+// TestReferenceOmissionMode repeats the differential test on an
+// omission-mode system with shallower formulas.
+func TestReferenceOmissionMode(t *testing.T) {
+	sys := omissionSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	rng := rand.New(rand.NewSource(42))
+	for fi := 0; fi < 25; fi++ {
+		f := randomFormula(rng, 3, 1)
+		tbl := e.Eval(f)
+		for s := 0; s < 25; s++ {
+			pt := sys.PointAt(rng.Intn(sys.NumPoints()))
+			if got, want := tbl.Get(sys.PointIndex(pt)), RefHolds(sys, f, pt); got != want {
+				t.Fatalf("formula %s at %v: evaluator %v, reference %v", f, pt, got, want)
+			}
+		}
+	}
+}
+
+func TestRefHoldsUnsupported(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CDiamond should be unsupported in RefHolds")
+		}
+	}()
+	RefHolds(sys, CDiamond(Nonfaulty(), Exists0()), system.Point{})
+}

@@ -1,0 +1,141 @@
+package knowledge
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// heardAllAtom is a time-varying fact used to separate the temporal
+// operators: "processor 0 heard from everyone this round".
+func heardAllAtom() Formula {
+	return ViewAtom("heard-all", 0, func(in *views.Interner, id views.ID) bool {
+		return in.HeardFrom(id) == types.SetOf(1, 2)
+	})
+}
+
+func TestFutureTimeModalities(t *testing.T) {
+	sys := crashSys(t, 3, 1, 2)
+	e := NewEvaluator(sys)
+	phi := heardAllAtom()
+
+	// The strength chain □̂ ⇒ □ ⇒ φ ⇒ ◇ ⇒ ◇̂.
+	for _, imp := range []struct {
+		name string
+		f    Formula
+	}{
+		{"□̂⇒□", Implies(Box(phi), Henceforth(phi))},
+		{"□⇒φ", Implies(Henceforth(phi), phi)},
+		{"φ⇒◇", Implies(phi, Future(phi))},
+		{"◇⇒◇̂", Implies(Future(phi), Diamond(phi))},
+		{"□ dual", Iff(Henceforth(phi), Not(Future(Not(phi))))},
+	} {
+		if !e.Valid(imp.f) {
+			t.Fatalf("%s not valid", imp.name)
+		}
+	}
+
+	// At time 0 the future-time and all-times modalities coincide.
+	hf := e.Eval(Henceforth(phi))
+	bx := e.Eval(Box(phi))
+	ft := e.Eval(Future(phi))
+	dm := e.Eval(Diamond(phi))
+	sys.ForEachPoint(func(pt system.Point) {
+		if pt.Time != 0 {
+			return
+		}
+		idx := sys.PointIndex(pt)
+		if hf.Get(idx) != bx.Get(idx) || ft.Get(idx) != dm.Get(idx) {
+			t.Fatalf("time-0 modalities differ at %v", pt)
+		}
+	})
+
+	// They genuinely differ at later times: heard-all can hold in
+	// round 1 and fail in round 2 (a crash), so ◇̂φ ∧ ¬◇φ occurs.
+	diff := e.Eval(And(Diamond(phi), Not(Future(phi))))
+	if !diff.Any() {
+		t.Fatal("◇̂ and ◇ should differ somewhere")
+	}
+}
+
+func TestEventualCommonKnowledge(t *testing.T) {
+	sys := crashSys(t, 3, 1, 3)
+	e := NewEvaluator(sys)
+	nf := Nonfaulty()
+
+	for _, phi := range []Formula{Exists0(), Exists1()} {
+		// The paper's hierarchy: ◇Cφ ⇒ C◇φ (if φ is eventually common
+		// knowledge, it is eventual common knowledge), hence also
+		// C ⇒ C◇ and C□ ⇒ C◇.
+		if !e.Valid(Implies(Future(C(nf, phi)), CDiamond(nf, phi))) {
+			t.Fatalf("◇C ⇒ C◇ fails for %s", phi)
+		}
+		if !e.Valid(Implies(C(nf, phi), CDiamond(nf, phi))) {
+			t.Fatalf("C ⇒ C◇ fails for %s", phi)
+		}
+		if !e.Valid(Implies(CBox(nf, phi), CDiamond(nf, phi))) {
+			t.Fatalf("C□ ⇒ C◇ fails for %s", phi)
+		}
+		// C◇ is strictly weaker than C: it holds before common
+		// knowledge is attained.
+		cd := e.Eval(CDiamond(nf, phi))
+		c := e.Eval(C(nf, phi))
+		sep := 0
+		for i := 0; i < cd.Len(); i++ {
+			if c.Get(i) && !cd.Get(i) {
+				t.Fatalf("C ∧ ¬C◇ at point %d for %s", i, phi)
+			}
+			if cd.Get(i) && !c.Get(i) {
+				sep++
+			}
+		}
+		if sep == 0 {
+			t.Fatalf("no point separates C◇ from C for %s", phi)
+		}
+	}
+
+	// The Section 3.2 inconsistency: there are points where processor
+	// 1 believes C◇∃0 and processor 2 believes C◇∃1 — the naive
+	// "decide v on B C◇∃v" rule would disagree. (This is why C□ is
+	// needed.)
+	b10 := e.Eval(B(0, nf, CDiamond(nf, Exists0())))
+	b21 := e.Eval(B(1, nf, CDiamond(nf, Exists1())))
+	clash := false
+	sys.ForEachPoint(func(pt system.Point) {
+		if clash {
+			return
+		}
+		idx := sys.PointIndex(pt)
+		run := sys.RunOf(pt)
+		if run.Nonfaulty().Contains(0) && run.Nonfaulty().Contains(1) &&
+			b10.Get(idx) && b21.Get(idx) {
+			clash = true
+		}
+	})
+	if !clash {
+		t.Fatal("expected a point where different processors believe C◇ of different values")
+	}
+
+	// E◇ over the empty set is vacuous.
+	if !e.Valid(EDiamond(Const("∅", types.EmptySet), False())) {
+		t.Fatal("E◇ over the empty set must be vacuous")
+	}
+	// Fixed-point property: C◇φ ⇒ E◇(φ ∧ C◇φ).
+	cd := CDiamond(nf, Exists0())
+	if !e.Valid(Implies(cd, EDiamond(nf, And(Exists0(), cd)))) {
+		t.Fatal("C◇ fixed-point property fails")
+	}
+}
+
+func TestTemporalStrings(t *testing.T) {
+	nf := Nonfaulty()
+	f := And(Henceforth(Exists0()), Future(Exists1()), EDiamond(nf, True()), CDiamond(nf, Exists0()))
+	s := f.String()
+	for _, want := range []string{"□ ∃0", "◇ ∃1", "E◇_𝒩", "C◇_𝒩"} {
+		if !contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+}

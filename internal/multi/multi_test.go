@@ -1,0 +1,213 @@
+package multi
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// allConfigs enumerates the k^n configurations.
+func allConfigs(n, k int) []Config {
+	var out []Config
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= k
+	}
+	for code := 0; code < total; code++ {
+		cfg := make(Config, n)
+		c := code
+		for i := 0; i < n; i++ {
+			cfg[i] = Value(c % k)
+			c /= k
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// checkEBA verifies decision, agreement, and validity of multivalued
+// decisions on one run.
+func checkEBA(t *testing.T, name string, cfg Config, pat *failures.Pattern, dec []Decision, maxRound types.Round) {
+	t.Helper()
+	var agreed Value = Undecided
+	for _, p := range pat.Nonfaulty().Members() {
+		d := dec[p]
+		if !d.OK {
+			t.Fatalf("%s cfg=%v %s: nonfaulty %d undecided", name, cfg, pat, p)
+		}
+		if maxRound >= 0 && d.Time > maxRound {
+			t.Fatalf("%s cfg=%v %s: proc %d decided at %d > %d", name, cfg, pat, p, d.Time, maxRound)
+		}
+		if agreed == Undecided {
+			agreed = d.Value
+		} else if agreed != d.Value {
+			t.Fatalf("%s cfg=%v %s: agreement violated (%v)", name, cfg, pat, dec)
+		}
+	}
+	if v, same := cfg.AllEqual(); same && agreed != v {
+		t.Fatalf("%s cfg=%v: validity violated (decided %d)", name, cfg, agreed)
+	}
+}
+
+// FloodMin is a correct (simultaneous) multivalued agreement protocol
+// in the crash mode, for ternary values, over every configuration and
+// crash pattern.
+func TestFloodMinCrashTernary(t *testing.T) {
+	const n, tt, h, k = 3, 1, 3, 3
+	pats, err := failures.EnumCrash(n, tt, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range pats {
+		for _, cfg := range allConfigs(n, k) {
+			dec, err := Run(FloodMin(), n, tt, cfg, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEBA(t, "FloodMin", cfg, pat, dec, types.Round(tt+1))
+			// FloodMin is simultaneous: everyone decides at t+1.
+			for _, p := range pat.Nonfaulty().Members() {
+				if dec[p].Time != types.Round(tt+1) {
+					t.Fatalf("FloodMin not simultaneous: %v", dec)
+				}
+			}
+		}
+	}
+}
+
+// MinChain achieves multivalued EBA under sending omissions, for
+// ternary values, deciding within f+1 rounds.
+func TestMinChainOmissionTernary(t *testing.T) {
+	const n, tt, h, k = 3, 1, 3, 3
+	pats, err := failures.EnumOmission(n, tt, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range pats {
+		f := pat.VisiblyFaulty().Len()
+		for _, cfg := range allConfigs(n, k) {
+			dec, err := Run(MinChain(), n, tt, cfg, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEBA(t, "MinChain", cfg, pat, dec, types.Round(f+1))
+		}
+	}
+}
+
+// MinChain with four processors and quaternary values under targeted
+// omission scenarios, including relayed chains.
+func TestMinChainLargerDomain(t *testing.T) {
+	const n, tt, h, k = 4, 1, 3, 4
+	pats := []*failures.Pattern{
+		failures.FailureFree(failures.Omission, n, h),
+		failures.Silent(failures.Omission, n, h, 0, 1),
+		failures.SilentExcept(n, h, 0, 1, 2),
+		failures.SilentExcept(n, h, 0, 2, 3),
+		failures.SilentExcept(n, h, 3, 1, 0),
+	}
+	for _, pat := range pats {
+		for _, cfg := range []Config{
+			{0, 1, 2, 3},
+			{3, 2, 1, 0},
+			{2, 2, 2, 2},
+			{1, 3, 3, 3},
+			{3, 3, 3, 1},
+		} {
+			dec, err := Run(MinChain(), n, tt, cfg, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEBA(t, "MinChain", cfg, pat, dec, -1)
+		}
+	}
+}
+
+// The chain discipline matters: a stale value delivered late by its
+// faulty holder is rejected, so the survivors decide the minimum of
+// what travelled legitimately.
+func TestMinChainRejectsStaleValue(t *testing.T) {
+	const n, tt, h = 3, 1, 3
+	// Processor 0 holds the global minimum 0 but is silent in round 1
+	// and delivers only in round 2 to processor 1: a stale chain.
+	pat := failures.SilentExcept(n, h, 0, 2, 1)
+	cfg := Config{0, 1, 2}
+	dec, err := Run(MinChain(), n, tt, cfg, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEBA(t, "MinChain", cfg, pat, dec, -1)
+	for _, p := range pat.Nonfaulty().Members() {
+		if dec[p].Value != 1 {
+			t.Fatalf("survivors should decide 1 (the smallest live value), got %v", dec)
+		}
+	}
+}
+
+// FloodMin is unsafe under omissions (the multivalued analogue of P0's
+// failure): a late value splits the survivors.
+func TestFloodMinBreaksUnderOmission(t *testing.T) {
+	const n, tt, h, k = 3, 1, 3, 3
+	pats, err := failures.EnumOmission(n, tt, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for _, pat := range pats {
+		for _, cfg := range allConfigs(n, k) {
+			dec, err := Run(FloodMin(), n, tt, cfg, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var agreed Value = Undecided
+			ok := true
+			for _, p := range pat.Nonfaulty().Members() {
+				if !dec[p].OK {
+					continue
+				}
+				if agreed == Undecided {
+					agreed = dec[p].Value
+				} else if agreed != dec[p].Value {
+					ok = false
+				}
+			}
+			if !ok {
+				violated = true
+			}
+		}
+	}
+	if !violated {
+		t.Fatal("FloodMin should violate agreement somewhere under omissions")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pat := failures.FailureFree(failures.Crash, 3, 2)
+	if _, err := Run(FloodMin(), 3, 1, Config{0, 1}, pat); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Run(FloodMin(), 3, 1, Config{0, -1, 1}, pat); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	two := failures.MustPattern(failures.Crash, 3, 2, types.SetOf(0, 1), nil)
+	if _, err := Run(FloodMin(), 3, 1, Config{0, 1, 2}, two); err == nil {
+		t.Fatal("too many faulty accepted")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{2, 0, 1}
+	if c.Min() != 0 {
+		t.Fatal("Min wrong")
+	}
+	if _, same := c.AllEqual(); same {
+		t.Fatal("AllEqual wrong")
+	}
+	if v, same := (Config{1, 1}).AllEqual(); !same || v != 1 {
+		t.Fatal("AllEqual wrong")
+	}
+	if err := (Config{0}).Validate(2); err == nil {
+		t.Fatal("short config accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package nettransport is the third execution engine: it runs
+// protocols over real TCP loopback connections — one goroutine per
+// processor, a full mesh of length-prefixed framed streams, and
+// sender-side fault injection. Unlike the in-process transport it
+// exercises genuine serialization: messages must be []byte (the
+// fip.WireProtocol adapter produces exactly that).
+//
+// Synchrony is modelled explicitly: every processor writes one frame
+// per peer per round — a payload frame or a null frame — standing in
+// for the round clock of the synchronous model (a deployed system
+// would use timeouts instead). An omitted message therefore costs a
+// two-byte null frame, and rounds stay in lockstep without timers.
+package nettransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// maxFrame bounds a frame payload (1 MiB — far beyond any view).
+const maxFrame = 1 << 20
+
+// Run executes the protocol over a TCP mesh on the loopback
+// interface. Message values produced by the protocol must be []byte.
+func Run(p sim.Protocol, params types.Params, cfg types.Config, pat *failures.Pattern) (*sim.Trace, error) {
+	if err := sim.ValidateRun(params, cfg, pat); err != nil {
+		return nil, err
+	}
+	n := params.N
+	h := types.Round(pat.Horizon())
+
+	mesh, err := dialMesh(n)
+	if err != nil {
+		return nil, err
+	}
+	defer mesh.close()
+
+	type result struct {
+		value   types.Value
+		at      types.Round
+		decided bool
+		sent    int
+		err     error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id types.ProcID) {
+			defer wg.Done()
+			res := &results[id]
+			proc := p.New(sim.Env{ID: id, Params: params, Initial: cfg[id], Mode: pat.Mode()})
+			record := func(at types.Round) {
+				if res.decided {
+					return
+				}
+				if v, ok := proc.Decided(); ok {
+					res.value, res.at, res.decided = v, at, true
+				}
+			}
+			record(0)
+			inbox := make([]sim.Message, n)
+			for r := types.Round(1); r <= h; r++ {
+				out := proc.Send(r)
+				if out != nil && len(out) != n {
+					res.err = fmt.Errorf("nettransport: process %d sent %d messages, want %d", id, len(out), n)
+					out = nil
+				}
+				// Write one frame to every peer concurrently (payload,
+				// or null when there is nothing to say or the fault
+				// pattern suppresses the message at the sender).
+				var writers sync.WaitGroup
+				writeErr := make([]error, n)
+				for j := 0; j < n; j++ {
+					dst := types.ProcID(j)
+					if dst == id {
+						continue
+					}
+					var payload []byte
+					if out != nil && out[j] != nil && pat.Delivers(id, r, dst) {
+						b, ok := out[j].([]byte)
+						if !ok {
+							res.err = fmt.Errorf("nettransport: process %d produced a non-[]byte message", id)
+						} else {
+							payload = b
+							res.sent++
+						}
+					}
+					writers.Add(1)
+					go func(j int, payload []byte) {
+						defer writers.Done()
+						writeErr[j] = writeFrame(mesh.conn(int(id), j), payload)
+					}(j, payload)
+				}
+				writers.Wait()
+				for _, werr := range writeErr {
+					if werr != nil && res.err == nil {
+						res.err = werr
+					}
+				}
+				// Read one frame from every peer.
+				for j := 0; j < n; j++ {
+					inbox[j] = nil
+					if j == int(id) {
+						continue
+					}
+					payload, rerr := readFrame(mesh.conn(int(id), j))
+					if rerr != nil {
+						if res.err == nil {
+							res.err = rerr
+						}
+						continue
+					}
+					if payload != nil {
+						inbox[j] = payload
+					}
+				}
+				if res.err != nil {
+					return
+				}
+				proc.Receive(r, inbox)
+				record(r)
+			}
+		}(types.ProcID(i))
+	}
+	wg.Wait()
+
+	tr := sim.NewTrace(p.Name(), cfg, pat)
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		tr.Sent += results[i].sent
+		if results[i].decided {
+			tr.Record(types.ProcID(i), results[i].value, results[i].at)
+		}
+	}
+	// Sender-side injection means delivered == sent.
+	tr.Delivered = tr.Sent
+	return tr, nil
+}
+
+// mesh is a full mesh of TCP connections over loopback.
+type mesh struct {
+	n     int
+	conns [][]net.Conn // conns[i][j]: i's connection to j (nil on diagonal)
+}
+
+func (m *mesh) conn(i, j int) net.Conn { return m.conns[i][j] }
+
+func (m *mesh) close() {
+	for i := range m.conns {
+		for j := range m.conns[i] {
+			if i < j && m.conns[i][j] != nil {
+				m.conns[i][j].Close()
+			}
+		}
+	}
+}
+
+// dialMesh builds the mesh: every pair (i < j) gets one TCP
+// connection through a loopback listener, identified by a one-byte
+// handshake carrying the dialer's ID.
+func dialMesh(n int) (*mesh, error) {
+	m := &mesh{n: n, conns: make([][]net.Conn, n)}
+	for i := range m.conns {
+		m.conns[i] = make([]net.Conn, n)
+	}
+	for j := 1; j < n; j++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.close()
+			return nil, fmt.Errorf("nettransport: listen: %w", err)
+		}
+		addr := ln.Addr().String()
+		// Accept j's incoming connections from every i < j.
+		type accepted struct {
+			id   int
+			conn net.Conn
+			err  error
+		}
+		acceptCh := make(chan accepted, j)
+		go func(count int) {
+			for k := 0; k < count; k++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					acceptCh <- accepted{err: err}
+					return
+				}
+				var idByte [1]byte
+				if _, err := io.ReadFull(conn, idByte[:]); err != nil {
+					acceptCh <- accepted{err: err}
+					return
+				}
+				acceptCh <- accepted{id: int(idByte[0]), conn: conn}
+			}
+		}(j)
+		for i := 0; i < j; i++ {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				ln.Close()
+				m.close()
+				return nil, fmt.Errorf("nettransport: dial: %w", err)
+			}
+			if _, err := conn.Write([]byte{byte(i)}); err != nil {
+				ln.Close()
+				m.close()
+				return nil, fmt.Errorf("nettransport: handshake: %w", err)
+			}
+			m.conns[i][j] = conn
+		}
+		for i := 0; i < j; i++ {
+			acc := <-acceptCh
+			if acc.err != nil {
+				ln.Close()
+				m.close()
+				return nil, fmt.Errorf("nettransport: accept: %w", acc.err)
+			}
+			if acc.id < 0 || acc.id >= j || m.conns[j][acc.id] != nil {
+				ln.Close()
+				m.close()
+				return nil, fmt.Errorf("nettransport: bad handshake id %d", acc.id)
+			}
+			m.conns[j][acc.id] = acc.conn
+		}
+		ln.Close()
+	}
+	return m, nil
+}
+
+// writeFrame emits [len uvarint][payload]; nil payload encodes the
+// null frame as length 0 with a marker... a zero-length payload and a
+// null frame are distinguished by a flag byte.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	if payload == nil {
+		hdr[0] = 0
+		_, err := w.Write(hdr[:1])
+		return err
+	}
+	hdr[0] = 1
+	k := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+k]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame; a nil result is the null frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var flag [1]byte
+	if _, err := io.ReadFull(r, flag[:]); err != nil {
+		return nil, err
+	}
+	if flag[0] == 0 {
+		return nil, nil
+	}
+	size, err := binary.ReadUvarint(byteReader{r})
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrame {
+		return nil, fmt.Errorf("nettransport: frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// byteReader adapts an io.Reader to io.ByteReader for ReadUvarint.
+type byteReader struct{ r io.Reader }
+
+func (b byteReader) ReadByte() (byte, error) {
+	var one [1]byte
+	_, err := io.ReadFull(b.r, one[:])
+	return one[0], err
+}

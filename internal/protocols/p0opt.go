@@ -1,0 +1,186 @@
+package protocols
+
+import (
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// P0Opt is the optimal crash-mode EBA protocol of Section 2.2. Every
+// processor maintains its knowledge of the initial values and sends
+// the list to all others each round (linear-size messages, unlike the
+// full-information protocol). The decision rules:
+//
+//   - decide 0 as soon as some processor is known to have initial
+//     value 0 (exactly P0's rule);
+//   - decide 1 as soon as (a) all initial values are known to be 1, or
+//     (b) the processor hears from the same set of processors in two
+//     consecutive rounds and still does not know of a 0.
+//
+// Theorems 6.1 and 6.2 show this protocol makes the same decisions as
+// the knowledge-derived F^Λ,2 = FIP(𝒵^cr, 𝒪^cr) at the states of
+// nonfaulty processors, and that both are optimal EBA protocols for
+// the crash mode. Processors here keep communicating after deciding
+// (the paper lets them halt a round later; keeping them talking
+// preserves the exact correspondence with the full-information
+// protocol at every point).
+func P0Opt() sim.Protocol { return p0opt{} }
+
+type p0opt struct{}
+
+func (p0opt) Name() string { return "P0opt" }
+
+func (p0opt) New(env sim.Env) sim.Process {
+	vals := make([]types.Value, env.Params.N)
+	for i := range vals {
+		vals[i] = types.Unset
+	}
+	vals[env.ID] = env.Initial
+	return &p0optProc{env: env, vals: vals}
+}
+
+type p0optProc struct {
+	env       sim.Env
+	vals      []types.Value
+	heardPrev types.ProcSet
+	decided   bool
+	value     types.Value
+}
+
+func (p *p0optProc) Send(types.Round) []sim.Message {
+	snapshot := make([]types.Value, len(p.vals))
+	copy(snapshot, p.vals)
+	out := make([]sim.Message, p.env.Params.N)
+	for i := range out {
+		out[i] = snapshot
+	}
+	return out
+}
+
+func (p *p0optProc) Receive(r types.Round, msgs []sim.Message) {
+	var heard types.ProcSet
+	for j, m := range msgs {
+		if m == nil || types.ProcID(j) == p.env.ID {
+			continue
+		}
+		heard = heard.Add(types.ProcID(j))
+		for q, v := range m.([]types.Value) {
+			if v != types.Unset {
+				p.vals[q] = v
+			}
+		}
+	}
+	if !p.decided {
+		switch {
+		case p.knows(types.Zero):
+			p.decided, p.value = true, types.Zero
+		case p.knowsAll(types.One):
+			p.decided, p.value = true, types.One
+		case r >= 2 && heard == p.heardPrev:
+			p.decided, p.value = true, types.One
+		}
+	}
+	p.heardPrev = heard
+}
+
+func (p *p0optProc) knows(v types.Value) bool {
+	for _, u := range p.vals {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *p0optProc) knowsAll(v types.Value) bool {
+	for _, u := range p.vals {
+		if u != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *p0optProc) Decided() (types.Value, bool) {
+	if !p.decided && p.env.Initial == types.Zero {
+		p.decided, p.value = true, types.Zero
+	}
+	if !p.decided {
+		return types.Unset, false
+	}
+	return p.value, true
+}
+
+// P0OptHalting is P0opt with the halting optimization of Section 2.3:
+// a processor communicates for one round after deciding and then
+// stops sending. Agreement and validity are preserved — a halted
+// processor is indistinguishable from a crashed one, and its final
+// round already carried everything its decision rested on — but
+// late deciders may take longer than under the non-halting protocol
+// (a halted peer looks like a fresh crash and resets condition (b)),
+// in exchange for far fewer messages. The E15 experiment quantifies
+// the trade.
+func P0OptHalting() sim.Protocol { return p0optHalting{} }
+
+type p0optHalting struct{}
+
+func (p0optHalting) Name() string { return "P0optHalt" }
+
+func (p0optHalting) New(env sim.Env) sim.Process {
+	return &p0optHaltProc{inner: p0opt{}.New(env).(*p0optProc)}
+}
+
+type p0optHaltProc struct {
+	inner       *p0optProc
+	roundsAfter int
+}
+
+func (p *p0optHaltProc) Send(r types.Round) []sim.Message {
+	if _, decided := p.inner.Decided(); decided {
+		if p.roundsAfter >= 1 {
+			return nil
+		}
+		p.roundsAfter++
+	}
+	return p.inner.Send(r)
+}
+
+func (p *p0optHaltProc) Receive(r types.Round, msgs []sim.Message) { p.inner.Receive(r, msgs) }
+
+func (p *p0optHaltProc) Decided() (types.Value, bool) { return p.inner.Decided() }
+
+// P0OptPair is P0opt's decision rule as a full-information decision
+// pair (the concrete protocol's state is an abstraction of the view;
+// both rules are functions of the view). The 1-side is closed under
+// "has decided": once condition (a) or (b) held, the state stays in
+// 𝒪^cr.
+func P0OptPair() fip.Pair {
+	return fip.Pair{
+		Name: "P0opt",
+		Z: fip.FromPred("P0opt.Z", func(in *views.Interner, id views.ID) bool {
+			return in.Knows(id, types.Zero)
+		}),
+		O: fip.FromPred("P0opt.O", p0optDecided1),
+	}
+}
+
+// p0optDecided1 reports whether P0opt has decided 1 by this view:
+// no 0 recorded, and at this or some earlier time either all values
+// were known to be 1 or the heard-from set repeated across two
+// consecutive rounds.
+func p0optDecided1(in *views.Interner, id views.ID) bool {
+	if in.Knows(id, types.Zero) {
+		return false
+	}
+	for cur := id; cur != views.NoView; cur = in.Prev(cur) {
+		if in.KnowsAll(cur, types.One) {
+			return true
+		}
+		if prev := in.Prev(cur); prev != views.NoView && in.Time(cur) >= 2 &&
+			in.HeardFrom(cur) == in.HeardFrom(prev) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// countingObserver tallies events for assertions.
+type countingObserver struct {
+	rounds    int
+	delivered int
+	omitted   int
+	decisions []types.Decision
+}
+
+func (o *countingObserver) RoundBegin(types.Round) { o.rounds++ }
+
+func (o *countingObserver) Message(_ types.Round, _, _ types.ProcID, delivered bool) {
+	if delivered {
+		o.delivered++
+	} else {
+		o.omitted++
+	}
+}
+
+func (o *countingObserver) Decide(at types.Round, p types.ProcID, v types.Value) {
+	o.decisions = append(o.decisions, types.Decision{Proc: p, Value: v, Time: at})
+}
+
+func TestRunObserved(t *testing.T) {
+	cfg := types.ConfigFromBits(3, 0b110)
+	pat := failures.Silent(failures.Omission, 3, 2, 2, 1)
+	obs := &countingObserver{}
+	tr, err := RunObserved(flood0{}, params(3, 1), cfg, pat, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.rounds != 2 {
+		t.Fatalf("rounds = %d", obs.rounds)
+	}
+	if obs.delivered != tr.Delivered || obs.delivered+obs.omitted != tr.Sent {
+		t.Fatalf("observer counters (%d,%d) disagree with trace (%d,%d)",
+			obs.delivered, obs.omitted, tr.Delivered, tr.Sent)
+	}
+	// Every recorded decision matches the trace, exactly once.
+	seen := map[types.ProcID]bool{}
+	for _, d := range obs.decisions {
+		if seen[d.Proc] {
+			t.Fatalf("duplicate Decide for %d", d.Proc)
+		}
+		seen[d.Proc] = true
+		v, at, ok := tr.DecisionOf(d.Proc)
+		if !ok || v != d.Value || at != d.Time {
+			t.Fatalf("observer decision %v disagrees with trace", d)
+		}
+	}
+	if len(obs.decisions) != len(tr.Decisions()) {
+		t.Fatalf("observer saw %d decisions, trace has %d", len(obs.decisions), len(tr.Decisions()))
+	}
+}
+
+func TestTextObserver(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := types.ConfigFromBits(3, 0b110)
+	pat := failures.Silent(failures.Omission, 3, 2, 2, 1)
+	if _, err := RunObserved(flood0{}, params(3, 1), cfg, pat, &TextObserver{W: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"round 1:", "round 2:", "(omitted)", "decides"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text observer output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package system enumerates full-information systems: the set ℛ of
+// runs of the full-information protocol for given parameters, failure
+// mode, and horizon, with every processor's view at every point
+// hash-consed into one Interner.
+//
+// Because the states of processors following a full-information
+// protocol are completely independent of their decision functions
+// (Proposition 2.2 of the paper), one enumerated System serves every
+// knowledge-based protocol: decision rules are just predicates over
+// interned views, and all knowledge operators, dominance comparisons,
+// and optimality checks are computations over this single structure.
+//
+// A System is exact for the adversary class it enumerates. Exhaustive
+// classes (EnumCrash / EnumOmission) yield the paper's semantics
+// outright; restricted classes (samples, witness families) yield the
+// knowledge of a smaller system, which over-approximates knowledge —
+// negative continual-common-knowledge facts established there remain
+// valid in every containing system (see DESIGN.md).
+package system
+
+import (
+	"fmt"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// Point identifies a point (r, m): run index and time.
+type Point struct {
+	Run  int
+	Time types.Round
+}
+
+// Run is one enumerated run: a configuration, a failure pattern, and
+// every processor's view at every time 0..H.
+type Run struct {
+	Index   int
+	Config  types.Config
+	Pattern *failures.Pattern
+	// Views[m][p] is processor p's view at time m.
+	Views [][]views.ID
+}
+
+// Nonfaulty returns the processors that are nonfaulty throughout the
+// run (the nonrigid set 𝒩 is constant within a run, Section 2.1).
+func (r *Run) Nonfaulty() types.ProcSet { return r.Pattern.Nonfaulty() }
+
+// System is an enumerated full-information system.
+type System struct {
+	Params  types.Params
+	Mode    failures.Mode
+	Horizon int
+
+	Interner *views.Interner
+	Runs     []*Run
+
+	// byView maps a view ID to every point at which the view's owner
+	// holds it. Views encode owner and time, so all points in a list
+	// share the same time.
+	byView map[views.ID][]Point
+}
+
+// Enumerate builds the exhaustive system for the mode: all initial
+// configurations crossed with all canonical failure patterns up to t
+// faulty processors. For the omission mode the pattern count grows as
+// (2^(n-1))^h per faulty processor; limit > 0 bounds it (0 = no
+// limit).
+func Enumerate(params types.Params, mode failures.Mode, horizon int, limit int) (*System, error) {
+	var (
+		pats []*failures.Pattern
+		err  error
+	)
+	switch mode {
+	case failures.Crash:
+		pats, err = failures.EnumCrash(params.N, params.T, horizon)
+	case failures.Omission:
+		pats, err = failures.EnumOmission(params.N, params.T, horizon, limit)
+	default:
+		err = fmt.Errorf("system: invalid mode %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return FromPatterns(params, mode, horizon, pats)
+}
+
+// FromPatterns builds the system over an explicit adversary class:
+// all initial configurations crossed with the given patterns.
+func FromPatterns(params types.Params, mode failures.Mode, horizon int, pats []*failures.Pattern) (*System, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("system: horizon %d < 1", horizon)
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("system: no failure patterns")
+	}
+	in := views.NewInterner(params.N)
+	sys := &System{
+		Params:   params,
+		Mode:     mode,
+		Horizon:  horizon,
+		Interner: in,
+		byView:   make(map[views.ID][]Point),
+	}
+	nconfigs := uint64(1) << uint(params.N)
+	sys.Runs = make([]*Run, 0, len(pats)*int(nconfigs))
+	for _, pat := range pats {
+		if pat.Mode() != mode {
+			return nil, fmt.Errorf("system: pattern mode %v, want %v", pat.Mode(), mode)
+		}
+		if pat.N() != params.N {
+			return nil, fmt.Errorf("system: pattern for n=%d, want %d", pat.N(), params.N)
+		}
+		if pat.Horizon() != horizon {
+			return nil, fmt.Errorf("system: pattern horizon %d, want %d", pat.Horizon(), horizon)
+		}
+		if pat.Faulty().Len() > params.T {
+			return nil, fmt.Errorf("system: pattern has %d faulty, t=%d", pat.Faulty().Len(), params.T)
+		}
+		for mask := uint64(0); mask < nconfigs; mask++ {
+			cfg := types.ConfigFromBits(params.N, mask)
+			run := &Run{
+				Index:   len(sys.Runs),
+				Config:  cfg,
+				Pattern: pat,
+				Views:   views.BuildRun(in, cfg, pat),
+			}
+			sys.Runs = append(sys.Runs, run)
+			for m := 0; m <= horizon; m++ {
+				pt := Point{Run: run.Index, Time: types.Round(m)}
+				for p := 0; p < params.N; p++ {
+					id := run.Views[m][p]
+					sys.byView[id] = append(sys.byView[id], pt)
+				}
+			}
+		}
+	}
+	return sys, nil
+}
+
+// NumRuns returns the number of runs.
+func (s *System) NumRuns() int { return len(s.Runs) }
+
+// NumPoints returns the number of points (runs × times).
+func (s *System) NumPoints() int { return len(s.Runs) * (s.Horizon + 1) }
+
+// PointIndex maps a point to its dense index in [0, NumPoints).
+func (s *System) PointIndex(pt Point) int {
+	return pt.Run*(s.Horizon+1) + int(pt.Time)
+}
+
+// PointAt is the inverse of PointIndex.
+func (s *System) PointAt(idx int) Point {
+	return Point{Run: idx / (s.Horizon + 1), Time: types.Round(idx % (s.Horizon + 1))}
+}
+
+// ViewAt returns processor p's view at the point.
+func (s *System) ViewAt(pt Point, p types.ProcID) views.ID {
+	return s.Runs[pt.Run].Views[pt.Time][p]
+}
+
+// PointsWithView returns every point at which the view's owner holds
+// exactly this view — the indistinguishability class driving K_i and
+// B_i. The returned slice is owned by the system; do not modify.
+func (s *System) PointsWithView(id views.ID) []Point {
+	return s.byView[id]
+}
+
+// RunOf returns the run containing the point.
+func (s *System) RunOf(pt Point) *Run { return s.Runs[pt.Run] }
+
+// ForEachPoint calls fn for every point, in run-major order.
+func (s *System) ForEachPoint(fn func(Point)) {
+	for r := range s.Runs {
+		for m := 0; m <= s.Horizon; m++ {
+			fn(Point{Run: r, Time: types.Round(m)})
+		}
+	}
+}
+
+// FindRun returns the run with the given configuration and pattern
+// key, if present.
+func (s *System) FindRun(cfg types.Config, patternKey string) (*Run, bool) {
+	for _, r := range s.Runs {
+		if r.Pattern.Key() == patternKey && r.Config.Bits() == cfg.Bits() && r.Config.N() == cfg.N() {
+			return r, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,160 @@
+package system
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+func TestEnumerateCrashCounts(t *testing.T) {
+	params := types.Params{N: 3, T: 1}
+	sys, err := Enumerate(params, failures.Crash, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 22 patterns (cf. failures tests) × 8 configs.
+	if sys.NumRuns() != 22*8 {
+		t.Fatalf("NumRuns = %d, want %d", sys.NumRuns(), 22*8)
+	}
+	if sys.NumPoints() != sys.NumRuns()*3 {
+		t.Fatalf("NumPoints = %d", sys.NumPoints())
+	}
+	count := 0
+	sys.ForEachPoint(func(Point) { count++ })
+	if count != sys.NumPoints() {
+		t.Fatalf("ForEachPoint visited %d", count)
+	}
+}
+
+func TestEnumerateOmissionLimit(t *testing.T) {
+	params := types.Params{N: 4, T: 1}
+	if _, err := Enumerate(params, failures.Omission, 3, 5); err == nil {
+		t.Fatal("limit not enforced")
+	}
+	if _, err := Enumerate(params, failures.Mode(0), 3, 0); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestFromPatternsValidation(t *testing.T) {
+	params := types.Params{N: 3, T: 1}
+	good := failures.FailureFree(failures.Crash, 3, 2)
+	tests := []struct {
+		name string
+		fn   func() (*System, error)
+	}{
+		{"bad params", func() (*System, error) {
+			return FromPatterns(types.Params{N: 1, T: 0}, failures.Crash, 2, []*failures.Pattern{good})
+		}},
+		{"bad horizon", func() (*System, error) {
+			return FromPatterns(params, failures.Crash, 0, []*failures.Pattern{good})
+		}},
+		{"no patterns", func() (*System, error) {
+			return FromPatterns(params, failures.Crash, 2, nil)
+		}},
+		{"mode mismatch", func() (*System, error) {
+			return FromPatterns(params, failures.Omission, 2, []*failures.Pattern{good})
+		}},
+		{"n mismatch", func() (*System, error) {
+			return FromPatterns(params, failures.Crash, 2, []*failures.Pattern{failures.FailureFree(failures.Crash, 4, 2)})
+		}},
+		{"horizon mismatch", func() (*System, error) {
+			return FromPatterns(params, failures.Crash, 3, []*failures.Pattern{good})
+		}},
+		{"too many faulty", func() (*System, error) {
+			pat := failures.MustPattern(failures.Crash, 3, 2, types.SetOf(0, 1), nil)
+			return FromPatterns(params, failures.Crash, 2, []*failures.Pattern{pat})
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.fn(); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestPointIndexRoundTrip(t *testing.T) {
+	sys, err := Enumerate(types.Params{N: 3, T: 1}, failures.Crash, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < sys.NumPoints(); idx++ {
+		if got := sys.PointIndex(sys.PointAt(idx)); got != idx {
+			t.Fatalf("round trip %d -> %d", idx, got)
+		}
+	}
+}
+
+func TestPointsWithViewConsistency(t *testing.T) {
+	sys, err := Enumerate(types.Params{N: 3, T: 1}, failures.Crash, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point appears in the class of its own view, and every
+	// member of a class holds the class's view.
+	sys.ForEachPoint(func(pt Point) {
+		for p := types.ProcID(0); p < 3; p++ {
+			id := sys.ViewAt(pt, p)
+			class := sys.PointsWithView(id)
+			found := false
+			for _, q := range class {
+				if q == pt {
+					found = true
+				}
+				if sys.ViewAt(q, p) != id {
+					t.Fatalf("class member %v does not hold view", q)
+				}
+				if q.Time != pt.Time {
+					t.Fatalf("view shared across times %d and %d", q.Time, pt.Time)
+				}
+			}
+			if !found {
+				t.Fatalf("point %v missing from its own class", pt)
+			}
+		}
+	})
+}
+
+func TestIndistinguishableRunsShareViews(t *testing.T) {
+	// The silent-processor construction: runs differing only in the
+	// silent processor's initial value are indistinguishable to the
+	// others, so their points share classes.
+	params := types.Params{N: 3, T: 1}
+	pats := []*failures.Pattern{
+		failures.Silent(failures.Omission, 3, 2, 2, 1),
+		failures.FailureFree(failures.Omission, 3, 2),
+	}
+	sys, err := FromPatterns(params, failures.Omission, 2, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := types.ConfigFromBits(3, 0b011) // proc 2 has 0
+	cfgB := types.ConfigFromBits(3, 0b111) // proc 2 has 1
+	ra, ok := sys.FindRun(cfgA, pats[0].Key())
+	if !ok {
+		t.Fatal("run A missing")
+	}
+	rb, ok := sys.FindRun(cfgB, pats[0].Key())
+	if !ok {
+		t.Fatal("run B missing")
+	}
+	for m := 0; m <= 2; m++ {
+		for _, p := range []types.ProcID{0, 1} {
+			if ra.Views[m][p] != rb.Views[m][p] {
+				t.Fatalf("proc %d distinguishes at time %d", p, m)
+			}
+		}
+		if ra.Views[m][2] == rb.Views[m][2] {
+			t.Fatal("proc 2 must distinguish its own value")
+		}
+	}
+	if ra.Nonfaulty() != types.SetOf(0, 1) {
+		t.Fatalf("Nonfaulty = %v", ra.Nonfaulty())
+	}
+	if _, ok := sys.FindRun(cfgA, "nonsense"); ok {
+		t.Fatal("FindRun matched nonsense key")
+	}
+}

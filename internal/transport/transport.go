@@ -1,0 +1,123 @@
+// Package transport is the live runtime: it executes the same
+// Protocol interface as the sim package, but with one goroutine per
+// processor, per-link message passing over channels, and a network
+// goroutine that enforces round synchrony and injects the failure
+// pattern. It demonstrates the paper's protocols as real concurrent
+// programs; a test asserts that its traces coincide with the
+// deterministic engine's, and the race detector exercises the
+// synchronization.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// result is a node goroutine's final report.
+type result struct {
+	proc    types.ProcID
+	value   types.Value
+	at      types.Round
+	decided bool
+	err     error
+}
+
+// Run executes the protocol on the run determined by (cfg, pat), with
+// every processor on its own goroutine. It blocks until all
+// goroutines finish (pat.Horizon() rounds) and returns the trace.
+func Run(p sim.Protocol, params types.Params, cfg types.Config, pat *failures.Pattern) (*sim.Trace, error) {
+	if err := sim.ValidateRun(params, cfg, pat); err != nil {
+		return nil, err
+	}
+	n := params.N
+	h := types.Round(pat.Horizon())
+
+	// Unbuffered channels: each round is a strict rendezvous between
+	// the nodes and the network, mirroring synchronous communication.
+	toNet := make([]chan []sim.Message, n)
+	toProc := make([]chan []sim.Message, n)
+	for i := range toNet {
+		toNet[i] = make(chan []sim.Message)
+		toProc[i] = make(chan []sim.Message)
+	}
+
+	results := make([]result, n)
+	var wg sync.WaitGroup
+
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id types.ProcID) {
+			defer wg.Done()
+			res := &results[id]
+			res.proc = id
+			proc := p.New(sim.Env{ID: id, Params: params, Initial: cfg[id], Mode: pat.Mode()})
+			record := func(at types.Round) {
+				if res.decided {
+					return
+				}
+				if v, ok := proc.Decided(); ok {
+					res.value, res.at, res.decided = v, at, true
+				}
+			}
+			record(0)
+			for r := types.Round(1); r <= h; r++ {
+				out := proc.Send(r)
+				if out != nil && len(out) != n {
+					res.err = fmt.Errorf("transport: %s process %d sent %d messages in round %d, want %d",
+						p.Name(), id, len(out), r, n)
+					out = nil
+				}
+				toNet[id] <- out
+				proc.Receive(r, <-toProc[id])
+				record(r)
+			}
+		}(types.ProcID(i))
+	}
+
+	// Network goroutine: gathers the round's sends from every node,
+	// applies the failure pattern, and distributes the inboxes. It is
+	// the only writer of the message counters until wg.Wait returns.
+	var sent, delivered int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := types.Round(1); r <= h; r++ {
+			sends := make([][]sim.Message, n)
+			for j := 0; j < n; j++ {
+				sends[j] = <-toNet[j]
+			}
+			for i := 0; i < n; i++ {
+				inbox := make([]sim.Message, n)
+				for j := 0; j < n; j++ {
+					if i == j || sends[j] == nil || sends[j][i] == nil {
+						continue
+					}
+					sent++
+					if pat.Delivers(types.ProcID(j), r, types.ProcID(i)) {
+						inbox[j] = sends[j][i]
+						delivered++
+					}
+				}
+				toProc[i] <- inbox
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	tr := sim.NewTrace(p.Name(), cfg, pat)
+	tr.Sent, tr.Delivered = sent, delivered
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		if results[i].decided {
+			tr.Record(results[i].proc, results[i].value, results[i].at)
+		}
+	}
+	return tr, nil
+}

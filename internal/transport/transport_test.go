@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// gossip is a test protocol: every process broadcasts the set of
+// initial values it has seen each round and decides min(seen) at time
+// t+1. It exercises multi-round full traffic.
+type gossip struct{}
+
+func (gossip) Name() string { return "gossip-test" }
+
+func (gossip) New(env sim.Env) sim.Process {
+	g := &gossipProc{env: env, seen: map[types.ProcID]types.Value{env.ID: env.Initial}}
+	return g
+}
+
+type gossipProc struct {
+	env     sim.Env
+	seen    map[types.ProcID]types.Value
+	decided bool
+	val     types.Value
+}
+
+func (g *gossipProc) Send(r types.Round) []sim.Message {
+	snapshot := make(map[types.ProcID]types.Value, len(g.seen))
+	for k, v := range g.seen {
+		snapshot[k] = v
+	}
+	out := make([]sim.Message, g.env.Params.N)
+	for i := range out {
+		out[i] = snapshot
+	}
+	return out
+}
+
+func (g *gossipProc) Receive(r types.Round, msgs []sim.Message) {
+	for _, m := range msgs {
+		if m == nil {
+			continue
+		}
+		for k, v := range m.(map[types.ProcID]types.Value) {
+			g.seen[k] = v
+		}
+	}
+	if !g.decided && r >= types.Round(g.env.Params.T+1) {
+		g.val = types.One
+		for _, v := range g.seen {
+			if v == types.Zero {
+				g.val = types.Zero
+			}
+		}
+		g.decided = true
+	}
+}
+
+func (g *gossipProc) Decided() (types.Value, bool) {
+	if !g.decided {
+		return types.Unset, false
+	}
+	return g.val, true
+}
+
+func TestRunMatchesSim(t *testing.T) {
+	params := types.Params{N: 4, T: 1}
+	pats, err := failures.EnumCrash(4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the test fast under -race: every 7th pattern plus the first.
+	for pi := 0; pi < len(pats); pi += 7 {
+		pat := pats[pi]
+		for mask := uint64(0); mask < 16; mask += 3 {
+			cfg := types.ConfigFromBits(4, mask)
+			want, err := sim.Run(gossip{}, params, cfg, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(gossip{}, params, cfg, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := types.ProcID(0); p < 4; p++ {
+				wv, wa, wok := want.DecisionOf(p)
+				gv, ga, gok := got.DecisionOf(p)
+				if wv != gv || wa != ga || wok != gok {
+					t.Fatalf("pattern %s cfg %s proc %d: transport (%v,%d,%v) != sim (%v,%d,%v)",
+						pat, cfg, p, gv, ga, gok, wv, wa, wok)
+				}
+			}
+		}
+	}
+}
+
+func TestRunOmissionMode(t *testing.T) {
+	params := types.Params{N: 4, T: 1}
+	pat := failures.SilentExcept(4, 3, 1, 2, 3)
+	cfg := types.ConfigFromBits(4, 0b1101) // proc 1 holds the only zero
+	tr, err := Run(gossip{}, params, cfg, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proc 3 received 1's zero in round 2 and relays it in round 3.
+	for p := types.ProcID(0); p < 4; p++ {
+		v, at, ok := tr.DecisionOf(p)
+		if !ok || at != 2 {
+			t.Fatalf("proc %d: decided=%v at=%d", p, ok, at)
+		}
+		// Only proc 3 (and 1 itself) know the zero by time 2.
+		want := types.One
+		if p == 1 || p == 3 {
+			want = types.Zero
+		}
+		if v != want {
+			t.Fatalf("proc %d decided %v, want %v", p, v, want)
+		}
+	}
+}
+
+// Goroutine scheduling must not leak into results: repeated runs of
+// the same protocol produce identical traces.
+func TestRunDeterministicAcrossSchedules(t *testing.T) {
+	params := types.Params{N: 5, T: 2}
+	cfg := types.ConfigFromBits(5, 0b10110)
+	pat := failures.SilentExcept(5, 4, 1, 2, 3)
+	ref, err := Run(gossip{}, params, cfg, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 20; rep++ {
+		tr, err := Run(gossip{}, params, cfg, pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Sent != ref.Sent || tr.Delivered != ref.Delivered {
+			t.Fatalf("rep %d: counters changed", rep)
+		}
+		for p := types.ProcID(0); p < 5; p++ {
+			rv, ra, rok := ref.DecisionOf(p)
+			gv, ga, gok := tr.DecisionOf(p)
+			if rv != gv || ra != ga || rok != gok {
+				t.Fatalf("rep %d: proc %d decision changed", rep, p)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	params := types.Params{N: 4, T: 1}
+	if _, err := Run(gossip{}, params, types.ConfigFromBits(3, 0), failures.FailureFree(failures.Crash, 4, 2)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+// badSender exercises the in-goroutine error path.
+type badSender struct{}
+
+func (badSender) Name() string            { return "bad" }
+func (badSender) New(sim.Env) sim.Process { return badProc{} }
+
+type badProc struct{}
+
+func (badProc) Send(types.Round) []sim.Message     { return make([]sim.Message, 1) }
+func (badProc) Receive(types.Round, []sim.Message) {}
+func (badProc) Decided() (types.Value, bool)       { return types.Unset, false }
+
+func TestRunBadSendLength(t *testing.T) {
+	_, err := Run(badSender{}, types.Params{N: 3, T: 0}, types.ConfigFromBits(3, 0), failures.FailureFree(failures.Crash, 3, 2))
+	if err == nil {
+		t.Fatal("bad send length not reported")
+	}
+}

@@ -1,0 +1,136 @@
+package views
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// buildOmission is a helper for hand-built omission patterns: omit[p]
+// lists, per round, the destinations p omits.
+func buildOmission(t *testing.T, n, h int, omit map[types.ProcID][]types.ProcSet) *failures.Pattern {
+	t.Helper()
+	var faulty types.ProcSet
+	beh := make(map[types.ProcID]*failures.Behavior, len(omit))
+	for p, rounds := range omit {
+		faulty = faulty.Add(p)
+		b := &failures.Behavior{Omit: make([]types.ProcSet, h)}
+		copy(b.Omit, rounds)
+		beh[p] = b
+	}
+	pat, err := failures.NewPattern(failures.Omission, n, h, faulty, beh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pat
+}
+
+// A maximal-length chain at n=5, t=2: the 0 travels 0 → 1 → 2 → 3
+// with each relayer immediately silenced towards the others, so every
+// hop is load-bearing.
+func TestLongChainRelay(t *testing.T) {
+	const n, h = 5, 4
+	in := NewInterner(n)
+	cfg := types.ConfigFromBits(n, 0b11110) // processor 0 holds the 0
+	all := func(p types.ProcID) types.ProcSet { return types.FullSet(n).Remove(p) }
+
+	// Round 1: 0 delivers only to 1, then is silent.
+	// Round 2: 1 delivers only to 2 (1 is also faulty).
+	// Later rounds: both silent; 2 and onwards are honest.
+	pat := buildOmission(t, n, h, map[types.ProcID][]types.ProcSet{
+		0: {all(0).Remove(1), all(0), all(0), all(0)},
+		1: {types.EmptySet, all(1).Remove(2), all(1), all(1)},
+	})
+	run := BuildRun(in, cfg, pat)
+
+	// Acceptance times: 0@0, 1@1, 2@2, and 2 relays honestly so 3 and
+	// 4 accept at 3.
+	if !in.AcceptsZeroAt(run[0][0]) || !in.AcceptsZeroAt(run[1][1]) || !in.AcceptsZeroAt(run[2][2]) {
+		t.Fatal("chain prefix broken")
+	}
+	if in.BelievesExistsZeroStar(run[1][2]) || in.BelievesExistsZeroStar(run[2][3]) {
+		t.Fatal("chain leaked ahead of schedule")
+	}
+	for _, p := range []int{3, 4} {
+		if !in.AcceptsZeroAt(run[3][p]) {
+			t.Fatalf("processor %d should accept at time 3", p)
+		}
+	}
+
+	// The chain sets must be exactly the paths taken.
+	// (Processor 2's time-2 acceptance came via 0→1→2.)
+	// Fault evidence at the end: everyone knows 0 and 1 are faulty.
+	for _, p := range []int{2, 3, 4} {
+		ev := in.FaultEvidence(run[4][p])
+		if !ev.Contains(0) || !ev.Contains(1) {
+			t.Fatalf("processor %d missing evidence: %v", p, ev)
+		}
+		if ev.Contains(types.ProcID(p)) {
+			t.Fatalf("honest processor %d accused", p)
+		}
+	}
+}
+
+// A chain broken in the middle: the intermediate relayer is known
+// faulty to the receiver at hop time, so acceptance must not happen
+// even though the certificate is fresh.
+func TestChainBrokenByEvidence(t *testing.T) {
+	const n, h = 5, 4
+	in := NewInterner(n)
+	cfg := types.ConfigFromBits(n, 0b11110)
+	all := func(p types.ProcID) types.ProcSet { return types.FullSet(n).Remove(p) }
+
+	// 0 delivers only to 1 in round 1. 1 omits to 2 in round 1 (2
+	// gains direct evidence), then in round 2 delivers only to 2 —
+	// whose evidence now blocks the hop. 1 omits to everyone else in
+	// round 2, so the chain dies entirely.
+	pat := buildOmission(t, n, h, map[types.ProcID][]types.ProcSet{
+		0: {all(0).Remove(1), all(0), all(0), all(0)},
+		1: {types.SetOf(2), all(1).Remove(2), all(1), all(1)},
+	})
+	run := BuildRun(in, cfg, pat)
+
+	if !in.AcceptsZeroAt(run[1][1]) {
+		t.Fatal("processor 1 should accept at time 1")
+	}
+	if !in.FaultEvidence(run[1][2]).Contains(1) {
+		t.Fatal("processor 2 should have direct evidence against 1")
+	}
+	if in.BelievesExistsZeroStar(run[2][2]) {
+		t.Fatal("hop through a known-faulty relayer must be rejected")
+	}
+	// Nobody else ever accepts: the 0 is gone.
+	for m := 0; m <= h; m++ {
+		for _, p := range []int{2, 3, 4} {
+			if in.BelievesExistsZeroStar(run[m][p]) {
+				t.Fatalf("processor %d accepted at time %d despite the dead chain", p, m)
+			}
+		}
+	}
+}
+
+// Acceptance with two independent chains: either suffices, and the
+// chain sets are distinct.
+func TestTwoIndependentChains(t *testing.T) {
+	const n, h = 5, 3
+	in := NewInterner(n)
+	cfg, err := types.NewConfig(types.Zero, types.Zero, types.One, types.One, types.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both 0-holders deliver round 1 only to processor 2.
+	all := func(p types.ProcID) types.ProcSet { return types.FullSet(n).Remove(p) }
+	pat := buildOmission(t, n, h, map[types.ProcID][]types.ProcSet{
+		0: {all(0).Remove(2), all(0), all(0)},
+		1: {all(1).Remove(2), all(1), all(1)},
+	})
+	run := BuildRun(in, cfg, pat)
+	if !in.AcceptsZeroAt(run[1][2]) {
+		t.Fatal("processor 2 should accept at time 1")
+	}
+	// Processors 3 and 4 accept at time 2 via 2's relay.
+	if !in.AcceptsZeroAt(run[2][3]) || !in.AcceptsZeroAt(run[2][4]) {
+		t.Fatal("relay should reach 3 and 4 at time 2")
+	}
+}

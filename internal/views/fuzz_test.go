@@ -1,0 +1,55 @@
+package views
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the view decoder: it must
+// never panic, and anything it accepts must re-marshal to an
+// equivalent structure.
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with genuine encodings of various shapes.
+	in := NewInterner(4)
+	cfg := types.ConfigFromBits(4, 0b0110)
+	pats := []*failures.Pattern{
+		failures.FailureFree(failures.Omission, 4, 3),
+		failures.Silent(failures.Omission, 4, 3, 1, 2),
+		failures.SilentExcept(4, 3, 0, 2, 3),
+	}
+	for _, pat := range pats {
+		run := BuildRun(in, cfg, pat)
+		for m := 0; m <= 3; m++ {
+			for p := 0; p < 4; p++ {
+				f.Add(Marshal(in, run[m][p]))
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{4, 1, 0, 0, 1})
+	f.Add([]byte{255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewInterner(4)
+		id, err := Unmarshal(dec, data)
+		if err != nil {
+			return
+		}
+		// Accepted views must round-trip structurally.
+		re := Marshal(dec, id)
+		dec2 := NewInterner(4)
+		id2, err := Unmarshal(dec2, re)
+		if err != nil {
+			t.Fatalf("re-marshal rejected: %v", err)
+		}
+		if dec.String(id) != dec2.String(id2) {
+			t.Fatal("round trip changed structure")
+		}
+		if !bytes.Equal(re, Marshal(dec2, id2)) {
+			t.Fatal("canonical encodings differ")
+		}
+	})
+}

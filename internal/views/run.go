@@ -1,0 +1,48 @@
+package views
+
+import (
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// BuildRun computes the full-information views of every processor at
+// every time 0..pattern.Horizon() for the run determined by the
+// initial configuration and the failure pattern (a protocol, an
+// initial configuration, and a failure pattern uniquely determine a
+// run; for the full-information protocol the states do not depend on
+// the decision function, Proposition 2.2).
+//
+// The result is indexed result[m][p] = view of processor p at time m.
+// Faulty processors' views are computed too: in the crash mode a
+// crashed processor's state is irrelevant (it no longer sends), and in
+// the omission mode faulty processors receive everything.
+func BuildRun(in *Interner, cfg types.Config, pat *failures.Pattern) [][]ID {
+	n := in.N()
+	if cfg.N() != n || pat.N() != n {
+		panic("views: BuildRun size mismatch")
+	}
+	h := pat.Horizon()
+	out := make([][]ID, h+1)
+	out[0] = make([]ID, n)
+	for p := 0; p < n; p++ {
+		out[0][p] = in.Leaf(types.ProcID(p), cfg[p])
+	}
+	received := make([]ID, n)
+	for r := 1; r <= h; r++ {
+		prev := out[r-1]
+		cur := make([]ID, n)
+		for p := 0; p < n; p++ {
+			dst := types.ProcID(p)
+			for j := 0; j < n; j++ {
+				if pat.Delivers(types.ProcID(j), types.Round(r), dst) {
+					received[j] = prev[j]
+				} else {
+					received[j] = NoView
+				}
+			}
+			cur[p] = in.Extend(dst, prev[p], received)
+		}
+		out[r] = cur
+	}
+	return out
+}

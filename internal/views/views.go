@@ -1,0 +1,387 @@
+// Package views implements the local states of processors running a
+// full-information protocol (FIP): recursive message-history trees,
+// hash-consed in an Interner so that state identity — the
+// indistinguishability relation underlying all knowledge operators —
+// is a single integer comparison.
+//
+// Following Section 2.4 of Halpern, Moses, and Waarts (PODC 1990), the
+// state of a processor in a full-information protocol consists of the
+// processor's name, initial state, message history, and time. In each
+// round every processor sends its current state to every other
+// processor. A view at time m is therefore the processor's identity
+// and initial value plus, for each round k <= m and each sender j,
+// either j's view at time k-1 (if j's round-k message arrived) or a
+// marker that it did not. Views of different protocols at
+// corresponding points coincide (Proposition 2.2), which is why one
+// enumeration of views serves every decision rule.
+//
+// The package also provides the syntactic analyses the paper's
+// protocols test on states: known initial values, evidence of
+// faultiness, the heard-from set, and 0-chain acceptance (the ∃0*
+// machinery of Section 6.2).
+package views
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// ID is an interned view identifier. Equal IDs from the same Interner
+// denote identical views; this is exactly the "same local state"
+// relation r_i(m) = r'_i(m') of the knowledge semantics.
+type ID int32
+
+// NoView marks an absent message: the sender's round-k message did not
+// arrive.
+const NoView ID = -1
+
+// node is one interned view.
+type node struct {
+	proc    types.ProcID
+	time    types.Round
+	initial types.Value
+	// from[j] is the view of processor j at time-1 carried by j's
+	// round-(time) message, or NoView if the message did not arrive.
+	// from[proc] is the processor's own previous view (always
+	// present: a processor remembers its own state). nil for leaves
+	// (time 0).
+	from []ID
+}
+
+// Interner hash-conses views for an n-processor system and memoizes
+// the syntactic analyses. It is not safe for concurrent use; each
+// enumeration or simulation owns its Interner (or guards it).
+type Interner struct {
+	n     int
+	nodes []node
+	index map[string]ID
+
+	// Lazily grown memo tables, indexed by ID.
+	knownVals  [][]types.Value
+	faultEv    []types.ProcSet
+	faultEvOK  []bool
+	acceptSets [][]types.ProcSet
+	acceptOK   []bool
+	believes0s []int8 // 0 unknown, 1 false, 2 true
+}
+
+// NewInterner creates an Interner for an n-processor system.
+func NewInterner(n int) *Interner {
+	if n < 2 || n > types.MaxProcs {
+		panic(fmt.Sprintf("views: NewInterner(%d) out of range", n))
+	}
+	return &Interner{n: n, index: make(map[string]ID)}
+}
+
+// N returns the system size the interner was built for.
+func (in *Interner) N() int { return in.n }
+
+// Size returns the number of distinct interned views.
+func (in *Interner) Size() int { return len(in.nodes) }
+
+func (in *Interner) intern(key string, nd node) ID {
+	if id, ok := in.index[key]; ok {
+		return id
+	}
+	id := ID(len(in.nodes))
+	in.nodes = append(in.nodes, nd)
+	in.index[key] = id
+	in.knownVals = append(in.knownVals, nil)
+	in.faultEv = append(in.faultEv, 0)
+	in.faultEvOK = append(in.faultEvOK, false)
+	in.acceptSets = append(in.acceptSets, nil)
+	in.acceptOK = append(in.acceptOK, false)
+	in.believes0s = append(in.believes0s, 0)
+	return id
+}
+
+// Leaf interns the time-0 view of processor p with initial value v.
+func (in *Interner) Leaf(p types.ProcID, v types.Value) ID {
+	if int(p) < 0 || int(p) >= in.n {
+		panic(fmt.Sprintf("views: Leaf proc %d out of range", p))
+	}
+	if !v.Valid() {
+		panic("views: Leaf with invalid initial value")
+	}
+	key := fmt.Sprintf("L%d:%d", p, v)
+	return in.intern(key, node{proc: p, time: 0, initial: v})
+}
+
+// Extend interns the time-(m+1) view of processor p whose time-m view
+// is own, given the received round-(m+1) messages: received[j] must be
+// the view of processor j at time m, or NoView if j's message did not
+// arrive. received[p] is ignored (a processor keeps its own state).
+func (in *Interner) Extend(p types.ProcID, own ID, received []ID) ID {
+	if len(received) != in.n {
+		panic(fmt.Sprintf("views: Extend received has length %d, want %d", len(received), in.n))
+	}
+	ownNd := in.node(own)
+	if ownNd.proc != p {
+		panic(fmt.Sprintf("views: Extend own view belongs to %d, not %d", ownNd.proc, p))
+	}
+	from := make([]ID, in.n)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "N%d:", p)
+	for j := 0; j < in.n; j++ {
+		v := received[j]
+		if types.ProcID(j) == p {
+			v = own
+		}
+		if v != NoView {
+			ch := in.node(v)
+			if ch.proc != types.ProcID(j) {
+				panic(fmt.Sprintf("views: Extend received[%d] belongs to %d", j, ch.proc))
+			}
+			if ch.time != ownNd.time {
+				panic(fmt.Sprintf("views: Extend received[%d] at time %d, want %d", j, ch.time, ownNd.time))
+			}
+		}
+		from[j] = v
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	return in.intern(sb.String(), node{proc: p, time: ownNd.time + 1, initial: ownNd.initial, from: from})
+}
+
+func (in *Interner) node(id ID) *node {
+	if id < 0 || int(id) >= len(in.nodes) {
+		panic(fmt.Sprintf("views: invalid view ID %d", id))
+	}
+	return &in.nodes[id]
+}
+
+// Proc returns the owner of the view.
+func (in *Interner) Proc(id ID) types.ProcID { return in.node(id).proc }
+
+// Time returns the time of the view.
+func (in *Interner) Time(id ID) types.Round { return in.node(id).time }
+
+// Initial returns the owner's initial value.
+func (in *Interner) Initial(id ID) types.Value { return in.node(id).initial }
+
+// From returns the view carried by j's message in the view's last
+// round (NoView if absent), or NoView for a leaf.
+func (in *Interner) From(id ID, j types.ProcID) ID {
+	nd := in.node(id)
+	if nd.from == nil {
+		return NoView
+	}
+	return nd.from[j]
+}
+
+// Prev returns the owner's own previous view, or NoView for a leaf.
+func (in *Interner) Prev(id ID) ID { return in.From(id, in.node(id).proc) }
+
+// HeardFrom returns the set of other processors whose message arrived
+// in the view's last round. For a leaf it is empty.
+func (in *Interner) HeardFrom(id ID) types.ProcSet {
+	nd := in.node(id)
+	var s types.ProcSet
+	if nd.from == nil {
+		return s
+	}
+	for j := 0; j < in.n; j++ {
+		if types.ProcID(j) != nd.proc && nd.from[j] != NoView {
+			s = s.Add(types.ProcID(j))
+		}
+	}
+	return s
+}
+
+// KnownValues returns, for each processor j, the initial value of j if
+// it is recorded anywhere in the view, else Unset. The result is owned
+// by the interner; callers must not modify it.
+func (in *Interner) KnownValues(id ID) []types.Value {
+	if kv := in.knownVals[id]; kv != nil {
+		return kv
+	}
+	nd := in.node(id)
+	kv := make([]types.Value, in.n)
+	for i := range kv {
+		kv[i] = types.Unset
+	}
+	kv[nd.proc] = nd.initial
+	for j := 0; j < in.n && nd.from != nil; j++ {
+		ch := nd.from[j]
+		if ch == NoView {
+			continue
+		}
+		for q, v := range in.KnownValues(ch) {
+			if v != types.Unset {
+				kv[q] = v
+			}
+		}
+	}
+	in.knownVals[id] = kv
+	return kv
+}
+
+// Knows reports whether the view records some processor having initial
+// value v. Knows(id, Zero) is the syntactic test for K_i ∃0 in a
+// full-information protocol.
+func (in *Interner) Knows(id ID, v types.Value) bool {
+	for _, u := range in.KnownValues(id) {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// KnowsAll reports whether the view records the initial value v for
+// every processor (the "knows all initial values are v" test of the
+// P0opt decision rule, Section 2.2).
+func (in *Interner) KnowsAll(id ID, v types.Value) bool {
+	for _, u := range in.KnownValues(id) {
+		if u != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FaultEvidence returns the set of processors the view proves faulty:
+// j is included exactly if somewhere in the view some processor failed
+// to receive j's required round-k message (k >= 1). In both the crash
+// and the sending-omission mode this syntactic evidence coincides with
+// the knowledge-theoretic B^N_i(j ∉ 𝒩): an omission pins the blame on
+// the sender, and without recorded omissions a run in which j is
+// nonfaulty is consistent with the view. (The equivalence is checked
+// against the semantic evaluator in the knowledge package's tests.)
+func (in *Interner) FaultEvidence(id ID) types.ProcSet {
+	if in.faultEvOK[id] {
+		return in.faultEv[id]
+	}
+	nd := in.node(id)
+	var s types.ProcSet
+	if nd.from != nil {
+		for j := 0; j < in.n; j++ {
+			ch := nd.from[j]
+			if ch == NoView {
+				s = s.Add(types.ProcID(j))
+				continue
+			}
+			s = s.Union(in.FaultEvidence(ch))
+		}
+	}
+	in.faultEvOK[id] = true
+	in.faultEv[id] = s
+	return s
+}
+
+// acceptances returns the chain sets S with which the view's owner
+// accepts 0 at exactly the view's time (Section 6.2). Acceptance
+// formalizes the 0-chain: a processor with initial value 0 accepts at
+// time 0 with chain {itself}; p accepts at time u >= 1 with chain
+// S ∪ {p} if it received, in round u, the time-(u-1) view of some
+// processor j ∉ {p} that accepted at exactly time u-1 with chain S,
+// p ∉ S, and p does not know j to be faulty at time u. The paper
+// indexes a chain of m processors at time m ("i_{k+1} received a
+// message from i_k at round k"); acceptance at time u corresponds to
+// being the (u+1)-st element, the alignment used in the proof of
+// Proposition 6.4.
+func (in *Interner) acceptances(id ID) []types.ProcSet {
+	if in.acceptOK[id] {
+		return in.acceptSets[id]
+	}
+	nd := in.node(id)
+	var out []types.ProcSet
+	if nd.time == 0 {
+		if nd.initial == types.Zero {
+			out = append(out, types.Singleton(nd.proc))
+		}
+	} else if ev := in.FaultEvidence(id); !ev.Contains(nd.proc) {
+		// If the owner knows itself faulty, B^N is vacuous, so the
+		// chain condition ¬B^N_p(j ∉ 𝒩) fails for every sender and no
+		// hop extends here. (A nonfaulty processor never reaches this
+		// state: no omission evidence against it can exist.)
+		for j := 0; j < in.n; j++ {
+			jp := types.ProcID(j)
+			if jp == nd.proc || nd.from[j] == NoView || ev.Contains(jp) {
+				continue
+			}
+			for _, s := range in.acceptances(nd.from[j]) {
+				if s.Contains(nd.proc) {
+					continue
+				}
+				ns := s.Add(nd.proc)
+				dup := false
+				for _, o := range out {
+					if o == ns {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					out = append(out, ns)
+				}
+			}
+		}
+	}
+	in.acceptOK[id] = true
+	in.acceptSets[id] = out
+	return out
+}
+
+// AcceptsZeroAt reports whether the view's owner accepts 0 at exactly
+// the view's time.
+func (in *Interner) AcceptsZeroAt(id ID) bool { return len(in.acceptances(id)) > 0 }
+
+// BelievesExistsZeroStar reports whether the view's owner has accepted
+// 0 at or before the view's time. This is the syntactic test for
+// B^N_i ∃0* (the decision set 𝒵⁰ of Section 6.2): if the owner is
+// nonfaulty, its acceptance chain is a 0-chain, so ∃0* holds; and
+// conversely a belief in ∃0* can only arise from being a chain
+// endpoint (relayed stale chains end in processors the owner cannot
+// know to be nonfaulty).
+func (in *Interner) BelievesExistsZeroStar(id ID) bool {
+	if m := in.believes0s[id]; m != 0 {
+		return m == 2
+	}
+	res := len(in.acceptances(id)) > 0
+	if !res {
+		if prev := in.Prev(id); prev != NoView {
+			res = in.BelievesExistsZeroStar(prev)
+		}
+	}
+	if res {
+		in.believes0s[id] = 2
+	} else {
+		in.believes0s[id] = 1
+	}
+	return res
+}
+
+// String renders a view as a nested term, for debugging and traces.
+func (in *Interner) String(id ID) string {
+	if id == NoView {
+		return "×"
+	}
+	var b strings.Builder
+	in.render(id, &b)
+	return b.String()
+}
+
+func (in *Interner) render(id ID, b *strings.Builder) {
+	nd := in.node(id)
+	if nd.from == nil {
+		fmt.Fprintf(b, "p%d=%s", nd.proc, nd.initial)
+		return
+	}
+	fmt.Fprintf(b, "p%d@%d⟨", nd.proc, nd.time)
+	first := true
+	for j := 0; j < in.n; j++ {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		if nd.from[j] == NoView {
+			fmt.Fprintf(b, "%d:×", j)
+			continue
+		}
+		fmt.Fprintf(b, "%d:", j)
+		in.render(nd.from[j], b)
+	}
+	b.WriteRune('⟩')
+}

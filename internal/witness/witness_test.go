@@ -1,0 +1,67 @@
+package witness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+func TestFamilyCounts(t *testing.T) {
+	pats, err := Family(4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Menu per processor with s = h*(n-1) = 6 delivery slots:
+	// 1 invisible + h silent + s silent-except-one + s omit-just +
+	// C(s,2) silent-except-two = 1 + 2 + 6 + 6 + 15 = 30.
+	// 1 failure-free + 4*30 = 121.
+	if len(pats) != 1+4*30 {
+		t.Fatalf("Family(4,1,2) = %d patterns", len(pats))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pats {
+		if seen[p.Key()] {
+			t.Fatalf("duplicate pattern %s", p)
+		}
+		seen[p.Key()] = true
+	}
+	if _, err := Family(1, 0, 2); err == nil {
+		t.Fatal("bad n accepted")
+	}
+	if _, err := Family(4, 1, 0); err == nil {
+		t.Fatal("bad h accepted")
+	}
+}
+
+func TestCheckProp63Hypotheses(t *testing.T) {
+	if _, err := CheckProp63(4, 1, 2); err == nil || !strings.Contains(err.Error(), "t > 1") {
+		t.Fatalf("t=1 accepted: %v", err)
+	}
+	if _, err := CheckProp63(3, 2, 2); err == nil || !strings.Contains(err.Error(), "n >= t+2") {
+		t.Fatalf("n=3,t=2 accepted: %v", err)
+	}
+}
+
+// Proposition 6.3: with n=4, t=2 in the omission mode, no nonfaulty
+// processor ever decides under F^Λ,2 in the all-ones run where
+// processor 0 is silent — certified for every time up to the horizon.
+func TestCheckProp63Certifies(t *testing.T) {
+	// h=2 keeps the test fast (~1s); the experiment harness
+	// (cmd/ebaexp) runs the h=3 certification.
+	const h = 2
+	rep, err := CheckProp63(4, 2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Certified {
+		t.Fatalf("not certified: %v", rep.Failures)
+	}
+	if rep.Checked != (h+1)*3 {
+		t.Fatalf("Checked = %d, want %d", rep.Checked, (h+1)*3)
+	}
+	if !strings.Contains(rep.String(), "certified") {
+		t.Fatalf("report: %s", rep)
+	}
+	_ = types.ProcID(0)
+}
