@@ -13,6 +13,14 @@
 //	-silent p@k     processor p sends nothing from round k on
 //	-except p@m-d   p is silent except one delivery to d in round m
 //	                (omission mode only)
+//
+// Chaos mode runs the protocol on the resilient TCP runtime with
+// seeded network-fault injection instead of a scripted pattern; the
+// effective pattern is reconstructed from what the network actually
+// delivered and cross-checked against the deterministic engine:
+//
+//	ebarun -protocol chain0 -mode omission -config 0111 -chaos auto -seed 7
+//	ebarun -protocol p0opt -config 0111 -chaos drop,kill -deadline 300ms
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	eba "github.com/eventual-agreement/eba"
 )
@@ -42,10 +51,21 @@ func run() error {
 		except    = flag.String("except", "", "silent-except-one failures, e.g. 0@2-1")
 		live      = flag.Bool("live", false, "run on the goroutine transport instead of the deterministic engine")
 		verbose   = flag.Bool("verbose", false, "trace every round and message (deterministic engine only)")
+		chaosSpec = flag.String("chaos", "", `run on the resilient TCP runtime with seeded fault injection: "auto" or a mechanism list, e.g. "drop,delay,kill"`)
+		seed      = flag.Int64("seed", 1, "chaos plan seed (with -chaos)")
+		deadline  = flag.Duration("deadline", 0, "per-round receive deadline (with -chaos; 0 = default)")
 	)
 	flag.Parse()
 	if *verbose && *live {
 		return fmt.Errorf("-verbose requires the deterministic engine (drop -live)")
+	}
+	if *chaosSpec != "" {
+		if *live || *verbose {
+			return fmt.Errorf("-chaos picks its own engine (drop -live/-verbose)")
+		}
+		if *silent != "" || *except != "" {
+			return fmt.Errorf("-chaos draws failures from the seed (drop -silent/-except)")
+		}
 	}
 
 	cfg, err := parseConfig(*config)
@@ -89,6 +109,10 @@ func run() error {
 		h = t + 2
 	}
 
+	if *chaosSpec != "" {
+		return runChaos(*protoName, mode, cfg, t, h, *chaosSpec, *seed, *deadline)
+	}
+
 	pat, err := buildPattern(mode, n, h, specs)
 	if err != nil {
 		return err
@@ -128,6 +152,90 @@ func run() error {
 		fmt.Println("  warning: some nonfaulty processor is undecided within the horizon")
 	}
 	return nil
+}
+
+// runChaos executes the protocol on the resilient TCP runtime under a
+// seeded chaos plan, prints the reconstructed failure pattern, and
+// cross-checks the live trace against the deterministic engine.
+func runChaos(protoName string, mode eba.Mode, cfg eba.Config, t, h int, spec string, seed int64, deadline time.Duration) error {
+	pair, err := pickPair(protoName, t)
+	if err != nil {
+		return err
+	}
+	mechs, err := parseMechanisms(spec)
+	if err != nil {
+		return err
+	}
+	params := eba.Params{N: cfg.N(), T: t}
+	plan, err := eba.NewChaosPlan(mode, params, h, seed, mechs...)
+	if err != nil {
+		return err
+	}
+	proto := eba.FIPWire(pair)
+	fmt.Printf("%s on resilient TCP runtime | n=%d t=%d h=%d | config %s\n%s\n",
+		proto.Name(), cfg.N(), t, h, cfg, plan)
+
+	tr, err := eba.RunResilient(proto, params, cfg, eba.ResilientOptions{Plan: plan, Deadline: deadline})
+	if err != nil {
+		return err
+	}
+	for p := eba.ProcID(0); p < eba.ProcID(cfg.N()); p++ {
+		status := "faulty"
+		if tr.Pattern.Nonfaulty().Contains(p) {
+			status = "nonfaulty"
+		}
+		if v, at, ok := tr.DecisionOf(p); ok {
+			fmt.Printf("  proc %d (%s): decides %s at time %d\n", p, status, v, at)
+		} else {
+			fmt.Printf("  proc %d (%s): undecided by time %d\n", p, status, h)
+		}
+	}
+	fmt.Printf("reconstructed %s (sent %d, delivered %d)\n", tr.Pattern, tr.Sent, tr.Delivered)
+	if err := eba.VerifyResilient(proto, params, tr); err != nil {
+		return err
+	}
+	fmt.Println("deterministic replay under the reconstructed pattern: identical trace")
+	return nil
+}
+
+// pickPair maps a protocol name to its decision pair — the form the
+// wire-format full-information adapter (and hence the TCP engines)
+// can run.
+func pickPair(name string, t int) (eba.Pair, error) {
+	switch strings.ToLower(name) {
+	case "p0":
+		return eba.P0Pair(t), nil
+	case "p1":
+		return eba.P1Pair(t), nil
+	case "p0opt":
+		return eba.P0OptPair(), nil
+	case "chain0":
+		return eba.Chain0Pair(), nil
+	case "floodset":
+		return eba.Pair{}, fmt.Errorf("floodset is a simultaneous-agreement protocol with no decision pair; -chaos needs p0|p1|p0opt|chain0")
+	default:
+		return eba.Pair{}, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+// parseMechanisms parses the -chaos value: "auto" (mode defaults) or a
+// comma-separated mechanism list.
+func parseMechanisms(spec string) ([]eba.ChaosMechanism, error) {
+	if strings.EqualFold(strings.TrimSpace(spec), "auto") {
+		return nil, nil
+	}
+	var out []eba.ChaosMechanism
+	for _, part := range splitList(spec) {
+		m, err := eba.ParseChaosMechanism(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -chaos spec (want \"auto\" or a mechanism list)")
+	}
+	return out, nil
 }
 
 func parseConfig(s string) (eba.Config, error) {

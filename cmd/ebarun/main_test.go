@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	eba "github.com/eventual-agreement/eba"
 )
@@ -79,5 +80,56 @@ func TestBuildPattern(t *testing.T) {
 	// Processor 0 delivers only to 3 in round 1.
 	if !pat.Delivers(0, 1, 3) || pat.Delivers(0, 1, 1) || pat.Delivers(0, 2, 3) {
 		t.Fatal("except schedule wrong")
+	}
+}
+
+func TestPickPair(t *testing.T) {
+	for _, name := range []string{"p0", "P1", "p0opt", "chain0"} {
+		if _, err := pickPair(name, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := pickPair("floodset", 1); err == nil {
+		t.Fatal("floodset accepted for chaos runs")
+	}
+	if _, err := pickPair("nope", 1); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestParseMechanisms(t *testing.T) {
+	if mechs, err := parseMechanisms("auto"); err != nil || mechs != nil {
+		t.Fatalf("auto -> %v, %v", mechs, err)
+	}
+	mechs, err := parseMechanisms("drop, delay ,kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []eba.ChaosMechanism{eba.ChaosDrop, eba.ChaosDelay, eba.ChaosKill}
+	if len(mechs) != len(want) {
+		t.Fatalf("mechs = %v", mechs)
+	}
+	for i := range want {
+		if mechs[i] != want[i] {
+			t.Fatalf("mechs = %v", mechs)
+		}
+	}
+	if _, err := parseMechanisms("drop,warp"); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+	if _, err := parseMechanisms(" , "); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+// End-to-end: a seeded chaos run through the CLI path completes and
+// verifies against the deterministic engine.
+func TestRunChaos(t *testing.T) {
+	cfg, err := parseConfig("0111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runChaos("chain0", eba.Omission, cfg, 2, 3, "drop,kill", 5, 200*time.Millisecond); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"math/rand"
 
 	"github.com/eventual-agreement/eba/internal/byzantine"
+	"github.com/eventual-agreement/eba/internal/chaos"
 	"github.com/eventual-agreement/eba/internal/core"
 	"github.com/eventual-agreement/eba/internal/failures"
 	"github.com/eventual-agreement/eba/internal/fip"
@@ -222,6 +223,80 @@ func RunLive(p Protocol, params Params, cfg Config, pat *Pattern) (*Trace, error
 func RunTCP(p Protocol, params Params, cfg Config, pat *Pattern) (*Trace, error) {
 	return nettransport.Run(p, params, cfg, pat)
 }
+
+// The resilient runtime: deadline-driven rounds over TCP, seeded
+// chaos injection, and fault-pattern reconstruction.
+
+type (
+	// ResilientOptions configures RunResilient (mode, horizon, round
+	// deadline, chaos plan, reconnect backoff).
+	ResilientOptions = nettransport.Options
+	// ReconstructionError reports a run whose observed behaviour has
+	// no legal failure pattern of its mode within the fault bound.
+	ReconstructionError = nettransport.ReconstructionError
+
+	// ChaosPlan is a seeded, deterministic schedule of network faults
+	// that realizes a legal failure pattern on the wire.
+	ChaosPlan = chaos.Plan
+	// ChaosMechanism is a wire-level fault mechanism.
+	ChaosMechanism = chaos.Mechanism
+	// ChaosAction is the planned treatment of one frame.
+	ChaosAction = chaos.Action
+
+	// Observation accumulates the message fates of a live run, for
+	// fault-pattern reconstruction.
+	Observation = failures.Observation
+)
+
+// Chaos mechanisms.
+const (
+	ChaosDrop      = chaos.Drop
+	ChaosDelay     = chaos.Delay
+	ChaosTruncate  = chaos.Truncate
+	ChaosKill      = chaos.Kill
+	ChaosPartition = chaos.Partition
+)
+
+// NewChaosPlan builds a seeded chaos plan for an (n, t) system over h
+// rounds; allowed restricts the mechanisms (empty means all legal for
+// the mode — crash mode permits only drop and kill).
+func NewChaosPlan(mode Mode, params Params, h int, seed int64, allowed ...ChaosMechanism) (*ChaosPlan, error) {
+	return chaos.New(mode, params, h, seed, allowed...)
+}
+
+// ParseChaosMechanism parses a mechanism name (drop, delay, truncate,
+// kill, partition).
+func ParseChaosMechanism(s string) (ChaosMechanism, error) { return chaos.ParseMechanism(s) }
+
+// NewObservation creates an empty observation for an n-processor run
+// over h rounds.
+func NewObservation(n, h int) *Observation { return failures.NewObservation(n, h) }
+
+// RunResilient executes a protocol over a TCP mesh with
+// deadline-driven round synchronization: a frame that misses its round
+// deadline is an omission by its sender, dead connections are redialed
+// with exponential backoff (omission mode), and the run's effective
+// failure pattern is reconstructed from observed message fates and
+// attached to the returned trace. Protocol messages must be []byte
+// (FIPWire qualifies).
+func RunResilient(p Protocol, params Params, cfg Config, opts ResilientOptions) (*Trace, error) {
+	return nettransport.RunResilient(p, params, cfg, opts)
+}
+
+// VerifyResilient replays a resilient run's reconstructed pattern on
+// the deterministic engine and reports the first divergence; nil means
+// the live run is trace-equivalent to its paper-semantics replay.
+func VerifyResilient(p Protocol, params Params, live *Trace) error {
+	return nettransport.VerifyReconstruction(p, params, live)
+}
+
+// DiffDecisions compares two traces' decisions (value and time per
+// processor) and describes the first divergence; "" means equal.
+func DiffDecisions(a, b *Trace) string { return sim.DiffDecisions(a, b) }
+
+// DiffTraces is DiffDecisions plus the sent/delivered message
+// counters — the strong equivalence used by VerifyResilient.
+func DiffTraces(a, b *Trace) string { return sim.DiffTraces(a, b) }
 
 // Observer receives run events from the deterministic engine.
 type Observer = sim.Observer

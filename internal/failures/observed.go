@@ -1,0 +1,124 @@
+package failures
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// Observation accumulates the message fates of a live run: which
+// required messages the protocol handed to the network, and which of
+// them actually arrived. It is the raw material for fault-pattern
+// reconstruction: a required message that was not delivered is, by the
+// paper's definition (Section 2.3), an omission by its sender, no
+// matter which network pathology (timeout, dead connection, torn
+// frame, partition) caused the loss.
+//
+// Observations are safe for concurrent use: live engines record from
+// one goroutine per processor.
+type Observation struct {
+	n, h int
+
+	mu        sync.Mutex
+	required  map[obsKey]bool
+	delivered map[obsKey]bool
+}
+
+type obsKey struct {
+	sender types.ProcID
+	round  types.Round
+	dst    types.ProcID
+}
+
+// NewObservation creates an empty observation for an n-processor run
+// over h rounds.
+func NewObservation(n, h int) *Observation {
+	return &Observation{
+		n:         n,
+		h:         h,
+		required:  make(map[obsKey]bool),
+		delivered: make(map[obsKey]bool),
+	}
+}
+
+// Required records that sender's protocol produced a round-r message
+// for dst (recorded sender-side, before any network fault can act).
+func (o *Observation) Required(sender types.ProcID, r types.Round, dst types.ProcID) {
+	o.mu.Lock()
+	o.required[obsKey{sender, r, dst}] = true
+	o.mu.Unlock()
+}
+
+// Delivered records that dst accepted sender's round-r message within
+// the round (recorded receiver-side, at the moment the message enters
+// the protocol's inbox).
+func (o *Observation) Delivered(sender types.ProcID, r types.Round, dst types.ProcID) {
+	o.mu.Lock()
+	o.delivered[obsKey{sender, r, dst}] = true
+	o.mu.Unlock()
+}
+
+// Counts returns the number of required and delivered messages.
+func (o *Observation) Counts() (required, delivered int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.required), len(o.delivered)
+}
+
+// Omissions returns, for each sender, the per-round sets of
+// destinations that missed a required message (Omit[r-1] semantics,
+// matching Behavior). Senders with no omissions are absent.
+func (o *Observation) Omissions() map[types.ProcID][]types.ProcSet {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[types.ProcID][]types.ProcSet)
+	for k := range o.required {
+		if o.delivered[k] {
+			continue
+		}
+		idx := int(k.round) - 1
+		if idx < 0 || idx >= o.h {
+			continue // out of horizon: not attributable to any round
+		}
+		om := out[k.sender]
+		if om == nil {
+			om = make([]types.ProcSet, o.h)
+			out[k.sender] = om
+		}
+		om[idx] = om[idx].Add(k.dst)
+	}
+	return out
+}
+
+// Reconstruct builds the effective failure pattern the run exhibited:
+// the faulty set is exactly the senders with at least one undelivered
+// required message, and each one's behaviour is its observed omission
+// schedule. NewPattern validates legality for the mode — in crash mode
+// a sender that resumed delivering after an omission is not a legal
+// crash and surfaces as an error (the observed run left the crash
+// failure model).
+func (o *Observation) Reconstruct(mode Mode) (*Pattern, error) {
+	omissions := o.Omissions()
+	var faulty types.ProcSet
+	behavior := make(map[types.ProcID]*Behavior, len(omissions))
+	for sender, omit := range omissions {
+		faulty = faulty.Add(sender)
+		behavior[sender] = &Behavior{Omit: omit}
+	}
+	pat, err := NewPattern(mode, o.n, o.h, faulty, behavior)
+	if err != nil {
+		return nil, fmt.Errorf("failures: observed run has no legal %s pattern: %w", mode, err)
+	}
+	return pat, nil
+}
+
+// CheckBound verifies that the pattern stays within the fault bound t:
+// the run's failures must be attributable to at most t processors for
+// the run to belong to the (n, t) system at all.
+func (p *Pattern) CheckBound(t int) error {
+	if f := p.Faulty().Len(); f > t {
+		return fmt.Errorf("failures: %d processors failed (faulty set %s), fault bound t=%d", f, p.Faulty(), t)
+	}
+	return nil
+}

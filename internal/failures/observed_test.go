@@ -1,0 +1,153 @@
+package failures
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+func TestReconstructOmission(t *testing.T) {
+	o := NewObservation(3, 2)
+	// Processor 0 sends to everyone both rounds; round 2 to proc 2 lost.
+	o.Required(0, 1, 1)
+	o.Delivered(0, 1, 1)
+	o.Required(0, 1, 2)
+	o.Delivered(0, 1, 2)
+	o.Required(0, 2, 1)
+	o.Delivered(0, 2, 1)
+	o.Required(0, 2, 2)
+	// Processors 1 and 2 fault-free.
+	for _, s := range []types.ProcID{1, 2} {
+		for r := types.Round(1); r <= 2; r++ {
+			for d := types.ProcID(0); d < 3; d++ {
+				if d == s {
+					continue
+				}
+				o.Required(s, r, d)
+				o.Delivered(s, r, d)
+			}
+		}
+	}
+
+	req, del := o.Counts()
+	if req != 12 || del != 11 {
+		t.Fatalf("counts = %d, %d", req, del)
+	}
+	pat, err := o.Reconstruct(Omission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Faulty() != types.ProcSet(0b001) {
+		t.Fatalf("faulty = %s", pat.Faulty())
+	}
+	if pat.Delivers(0, 2, 2) || !pat.Delivers(0, 2, 1) || !pat.Delivers(0, 1, 2) {
+		t.Fatalf("reconstructed schedule wrong: %s", pat)
+	}
+	if err := pat.CheckBound(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pat.CheckBound(0); err == nil {
+		t.Fatal("fault bound 0 accepted with one faulty processor")
+	}
+}
+
+// A sender that resumes delivering after an omission is not a legal
+// crash: reconstruction must fail in crash mode and succeed in
+// omission mode.
+func TestReconstructCrashShape(t *testing.T) {
+	o := NewObservation(3, 3)
+	o.Required(0, 1, 1) // omitted
+	o.Required(0, 2, 1)
+	o.Delivered(0, 2, 1) // resumed: omission, not crash
+	o.Required(0, 3, 1)
+	o.Delivered(0, 3, 1)
+
+	if _, err := o.Reconstruct(Crash); err == nil {
+		t.Fatal("resume-after-omission accepted as a crash")
+	}
+	pat, err := o.Reconstruct(Omission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Faulty() != types.ProcSet(0b001) {
+		t.Fatalf("faulty = %s", pat.Faulty())
+	}
+
+	// The crash-shaped observation (silent from round 2 on) is legal in
+	// both modes.
+	c := NewObservation(3, 3)
+	c.Required(0, 1, 1)
+	c.Delivered(0, 1, 1)
+	c.Required(0, 1, 2)
+	c.Delivered(0, 1, 2)
+	for r := types.Round(2); r <= 3; r++ {
+		c.Required(0, r, 1)
+		c.Required(0, r, 2)
+	}
+	for _, mode := range []Mode{Crash, Omission} {
+		pat, err := c.Reconstruct(mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if first, ok := pat.FirstOmission(0); !ok || first != 2 {
+			t.Fatalf("%s: first omission = %d, %v", mode, first, ok)
+		}
+	}
+}
+
+func TestReconstructFailureFree(t *testing.T) {
+	o := NewObservation(4, 2)
+	o.Required(1, 1, 2)
+	o.Delivered(1, 1, 2)
+	pat, err := o.Reconstruct(Crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pat.Faulty().Empty() {
+		t.Fatalf("faulty = %s", pat.Faulty())
+	}
+	if len(o.Omissions()) != 0 {
+		t.Fatal("spurious omissions")
+	}
+}
+
+// Deliveries recorded for out-of-horizon rounds must not corrupt the
+// omission schedule (the engine only records in-window, but the
+// observation is defensive).
+func TestObservationIgnoresOutOfRange(t *testing.T) {
+	o := NewObservation(3, 2)
+	o.Required(0, 5, 1) // beyond horizon: dropped by Omissions
+	om := o.Omissions()
+	if len(om) != 0 {
+		t.Fatalf("out-of-range round produced omissions: %v", om)
+	}
+	if _, err := o.Reconstruct(Omission); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservationConcurrent(t *testing.T) {
+	o := NewObservation(4, 3)
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func(s types.ProcID) {
+			defer func() { done <- struct{}{} }()
+			for r := types.Round(1); r <= 3; r++ {
+				for d := types.ProcID(0); d < 4; d++ {
+					if d == s {
+						continue
+					}
+					o.Required(s, r, d)
+					o.Delivered(s, r, d)
+				}
+			}
+		}(types.ProcID(i))
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	req, del := o.Counts()
+	if req != 36 || del != 36 {
+		t.Fatalf("counts = %d, %d", req, del)
+	}
+}

@@ -13,7 +13,6 @@
 package nettransport
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -23,9 +22,6 @@ import (
 	"github.com/eventual-agreement/eba/internal/sim"
 	"github.com/eventual-agreement/eba/internal/types"
 )
-
-// maxFrame bounds a frame payload (1 MiB — far beyond any view).
-const maxFrame = 1 << 20
 
 // Run executes the protocol over a TCP mesh on the loopback
 // interface. Message values produced by the protocol must be []byte.
@@ -233,55 +229,4 @@ func dialMesh(n int) (*mesh, error) {
 		ln.Close()
 	}
 	return m, nil
-}
-
-// writeFrame emits [len uvarint][payload]; nil payload encodes the
-// null frame as length 0 with a marker... a zero-length payload and a
-// null frame are distinguished by a flag byte.
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [binary.MaxVarintLen64 + 1]byte
-	if payload == nil {
-		hdr[0] = 0
-		_, err := w.Write(hdr[:1])
-		return err
-	}
-	hdr[0] = 1
-	k := binary.PutUvarint(hdr[1:], uint64(len(payload)))
-	if _, err := w.Write(hdr[:1+k]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
-// readFrame reads one frame; a nil result is the null frame.
-func readFrame(r io.Reader) ([]byte, error) {
-	var flag [1]byte
-	if _, err := io.ReadFull(r, flag[:]); err != nil {
-		return nil, err
-	}
-	if flag[0] == 0 {
-		return nil, nil
-	}
-	size, err := binary.ReadUvarint(byteReader{r})
-	if err != nil {
-		return nil, err
-	}
-	if size > maxFrame {
-		return nil, fmt.Errorf("nettransport: frame of %d bytes exceeds limit", size)
-	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
-}
-
-// byteReader adapts an io.Reader to io.ByteReader for ReadUvarint.
-type byteReader struct{ r io.Reader }
-
-func (b byteReader) ReadByte() (byte, error) {
-	var one [1]byte
-	_, err := io.ReadFull(b.r, one[:])
-	return one[0], err
 }

@@ -3,6 +3,8 @@ package nettransport
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"io"
 	"testing"
 
 	"github.com/eventual-agreement/eba/internal/failures"
@@ -38,13 +40,8 @@ func TestTCPMatchesSim(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for p := types.ProcID(0); p < 4; p++ {
-			wv, wa, wok := want.DecisionOf(p)
-			gv, ga, gok := got.DecisionOf(p)
-			if wv != gv || wa != ga || wok != gok {
-				t.Fatalf("cfg %s %s proc %d: tcp (%v,%d,%v) vs sim (%v,%d,%v)",
-					sc.cfg, sc.pat, p, gv, ga, gok, wv, wa, wok)
-			}
+		if d := sim.DiffDecisions(got, want); d != "" {
+			t.Fatalf("cfg %s %s: tcp vs sim: %s", sc.cfg, sc.pat, d)
 		}
 		if got.Sent != got.Delivered {
 			t.Fatal("sender-side injection should equate sent and delivered")
@@ -162,17 +159,27 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatalf("frame round trip: %v -> %v", want, got)
 		}
 	}
-	// Oversized frames rejected.
+	// Oversized frames rejected with the typed error.
 	var big bytes.Buffer
 	big.WriteByte(1)
 	hdr := make([]byte, 10)
 	n := binary.PutUvarint(hdr, maxFrame+1)
 	big.Write(hdr[:n])
-	if _, err := readFrame(&big); err == nil {
-		t.Fatal("oversized frame accepted")
+	if _, err := readFrame(&big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
 	}
-	// Truncated stream.
-	if _, err := readFrame(bytes.NewReader([]byte{1, 5, 1, 2})); err == nil {
-		t.Fatal("truncated frame accepted")
+	// A stream that dies mid-frame is a truncation, not a protocol
+	// violation.
+	if _, err := readFrame(bytes.NewReader([]byte{1, 5, 1, 2})); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("torn frame: err = %v, want ErrTruncatedFrame", err)
+	}
+	// An unknown flag byte poisons the stream.
+	if _, err := readFrame(bytes.NewReader([]byte{0x7f})); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad flag: err = %v, want ErrBadFrame", err)
+	}
+	// A clean close between frames is a plain EOF — the classic
+	// engine's normal end-of-run, never a typed failure.
+	if _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("clean close: err = %v, want io.EOF", err)
 	}
 }

@@ -1,0 +1,215 @@
+package nettransport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/chaos"
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/protocols"
+	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// testDeadline is deliberately small: every omitted message costs the
+// receiver one deadline wait, so test wall-clock scales with it.
+const testDeadline = 200 * time.Millisecond
+
+// runVerified runs the protocol under the plan and cross-checks the
+// live trace against the deterministic replay. Reconstruction can fail
+// transiently under scheduler pressure (a delayed frame squeaks past
+// its deadline on one receiver but not another, pushing the observed
+// pattern outside the mode); those runs are retried with a doubled
+// deadline. A trace mismatch is a real bug and fails immediately.
+func runVerified(t *testing.T, p sim.Protocol, params types.Params, cfg types.Config, plan *chaos.Plan) *sim.Trace {
+	t.Helper()
+	deadline := testDeadline
+	for attempt := 1; ; attempt++ {
+		tr, err := RunResilient(p, params, cfg, Options{Plan: plan, Deadline: deadline})
+		if err != nil {
+			var rerr *ReconstructionError
+			if errors.As(err, &rerr) && attempt < 3 {
+				t.Logf("attempt %d (deadline %v): %v — retrying", attempt, deadline, err)
+				deadline *= 2
+				continue
+			}
+			t.Fatalf("RunResilient: %v (plan %s)", err, plan)
+		}
+		if err := VerifyReconstruction(p, params, tr); err != nil {
+			t.Fatalf("%v", err)
+		}
+		return tr
+	}
+}
+
+// The headline acceptance test: a seeded chaos run whose plan uses
+// drop, delay, AND kill completes; the reconstructor emits a legal
+// omission pattern within the fault bound; and the deterministic
+// engine, replayed under that pattern, produces an identical trace.
+func TestChaosRunReplaysDeterministically(t *testing.T) {
+	params := types.Params{N: 4, T: 2}
+	const h = 3
+	proto := fip.WireProtocol(protocols.Chain0SyntacticPair())
+
+	// Scan seeds for a plan that actually exercises all three
+	// mechanisms (seed scanning is deterministic; the first hit is
+	// always the same seed).
+	var plan *chaos.Plan
+	for seed := int64(0); seed < 256; seed++ {
+		p, err := chaos.New(failures.Omission, params, h, seed, chaos.Drop, chaos.Delay, chaos.Kill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.Mechanisms()
+		if m[chaos.Drop] > 0 && m[chaos.Delay] > 0 && m[chaos.Kill] > 0 {
+			plan = p
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed in [0,256) plans drop+delay+kill")
+	}
+	t.Logf("plan: %s", plan)
+
+	tr := runVerified(t, proto, params, types.ConfigFromBits(4, 0b0110), plan)
+
+	if tr.Pattern.Mode() != failures.Omission {
+		t.Fatalf("reconstructed mode = %v", tr.Pattern.Mode())
+	}
+	if err := tr.Pattern.CheckBound(params.T); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.NonfaultyDecided() {
+		t.Fatalf("nonfaulty processor undecided: %s", tr)
+	}
+	t.Logf("reconstructed: %s (sent=%d delivered=%d)", tr.Pattern, tr.Sent, tr.Delivered)
+}
+
+// Property: across random seeds and both failure modes, the chaos run
+// is trace-equivalent to the deterministic engine under the
+// reconstructed pattern — decisions, decision times, and message
+// counters all match.
+func TestChaosCrossEngineEquivalence(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	cases := []struct {
+		mode failures.Mode
+		pair fip.Pair
+	}{
+		{failures.Crash, protocols.P0OptPair()},
+		{failures.Omission, protocols.Chain0SyntacticPair()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			t.Parallel()
+			params := types.Params{N: 4, T: 2}
+			proto := fip.WireProtocol(tc.pair)
+			for seed := int64(0); seed < int64(seeds); seed++ {
+				plan, err := chaos.New(tc.mode, params, 3, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := types.ConfigFromBits(4, uint64(seed*5)%16)
+				tr := runVerified(t, proto, params, cfg, plan)
+				if tr.Pattern.Mode() != tc.mode {
+					t.Fatalf("seed %d: reconstructed mode %v", seed, tr.Pattern.Mode())
+				}
+				t.Logf("seed %d: %s", seed, tr.Pattern)
+			}
+		})
+	}
+}
+
+// A chaos-free resilient run reconstructs the failure-free pattern and
+// matches the deterministic failure-free run exactly.
+func TestResilientFailureFree(t *testing.T) {
+	params := types.Params{N: 4, T: 1}
+	const h = 3
+	proto := fip.WireProtocol(protocols.P0OptPair())
+	cfg := types.ConfigFromBits(4, 0b1010)
+
+	tr, err := RunResilient(proto, params, cfg, Options{
+		Mode: failures.Crash, Horizon: h, Deadline: testDeadline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Pattern.Faulty().Empty() {
+		t.Fatalf("spurious faults reconstructed: %s", tr.Pattern)
+	}
+	want, err := sim.Run(proto, params, cfg, failures.FailureFree(failures.Crash, 4, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Same(want) {
+		t.Fatalf("failure-free divergence: %s", sim.DiffTraces(tr, want))
+	}
+}
+
+// Killed connections in omission mode degrade to omissions (never to
+// aborted runs): a partition-heavy plan still completes and verifies.
+func TestResilientSurvivesConnectionChurn(t *testing.T) {
+	params := types.Params{N: 4, T: 2}
+	proto := fip.WireProtocol(protocols.Chain0SyntacticPair())
+	for seed := int64(0); seed < 64; seed++ {
+		plan, err := chaos.New(failures.Omission, params, 3, seed, chaos.Kill, chaos.Truncate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := plan.Mechanisms()
+		if m[chaos.Kill] == 0 || m[chaos.Truncate] == 0 {
+			continue
+		}
+		tr := runVerified(t, proto, params, types.ConfigFromBits(4, 0b0001), plan)
+		t.Logf("seed %d: %s survived kill×%d truncate×%d", seed, tr.Pattern, m[chaos.Kill], m[chaos.Truncate])
+		return
+	}
+	t.Fatal("no seed in [0,64) plans kill+truncate")
+}
+
+func TestResilientOptionValidation(t *testing.T) {
+	params := types.Params{N: 3, T: 1}
+	proto := fip.WireProtocol(protocols.P0OptPair())
+	cfg := types.ConfigFromBits(3, 0)
+	plan, err := chaos.New(failures.Crash, params, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{},                                    // no mode, no plan
+		{Mode: failures.Crash},                // no horizon
+		{Plan: plan, Mode: failures.Omission}, // mode conflicts with plan
+		{Plan: plan, Horizon: 5},              // horizon conflicts with plan
+	}
+	for i, opts := range bad {
+		if _, err := RunResilient(proto, params, cfg, opts); err == nil {
+			t.Fatalf("options %d accepted: %+v", i, opts)
+		}
+	}
+	wrongN, err := chaos.New(failures.Crash, types.Params{N: 4, T: 1}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunResilient(proto, params, cfg, Options{Plan: wrongN}); err == nil {
+		t.Fatal("plan with mismatched n accepted")
+	}
+}
+
+// ReconstructionError wraps the underlying legality failure so callers
+// can distinguish "the network left the failure model" from engine
+// errors.
+func TestReconstructionErrorUnwrap(t *testing.T) {
+	inner := errors.New("boom")
+	err := &ReconstructionError{Err: inner}
+	if !errors.Is(err, inner) {
+		t.Fatal("ReconstructionError does not unwrap")
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

@@ -136,6 +136,50 @@ func (tr *Trace) NonfaultyDecided() bool {
 	return ok
 }
 
+// DiffDecisions compares the decisions of two traces of the same
+// protocol run on different engines (or replayed under a
+// reconstructed pattern) and describes the first difference; "" means
+// every processor decided the same value at the same time on both.
+// Protocol names, configurations, and patterns are not compared: the
+// hook's purpose is exactly to relate runs whose descriptions differ.
+func DiffDecisions(a, b *Trace) string {
+	if len(a.decidedAt) != len(b.decidedAt) {
+		return fmt.Sprintf("system sizes differ: %d vs %d", len(a.decidedAt), len(b.decidedAt))
+	}
+	for p := range a.decidedAt {
+		av, aat, aok := a.DecisionOf(types.ProcID(p))
+		bv, bat, bok := b.DecisionOf(types.ProcID(p))
+		switch {
+		case aok != bok:
+			return fmt.Sprintf("proc %d: decided=%v vs decided=%v", p, aok, bok)
+		case aok && (av != bv || aat != bat):
+			return fmt.Sprintf("proc %d: decides %s at time %d vs %s at time %d", p, av, aat, bv, bat)
+		}
+	}
+	return ""
+}
+
+// DiffTraces is DiffDecisions plus the message counters: it also
+// requires the two runs to have sent and delivered the same number of
+// messages. This is the strong equivalence used to cross-check a live
+// resilient run against its deterministic replay (identical decisions
+// AND identical message traffic under the reconstructed pattern).
+func DiffTraces(a, b *Trace) string {
+	if d := DiffDecisions(a, b); d != "" {
+		return d
+	}
+	if a.Sent != b.Sent {
+		return fmt.Sprintf("sent %d vs %d messages", a.Sent, b.Sent)
+	}
+	if a.Delivered != b.Delivered {
+		return fmt.Sprintf("delivered %d vs %d messages", a.Delivered, b.Delivered)
+	}
+	return ""
+}
+
+// Same reports trace equivalence (DiffTraces finds no difference).
+func (tr *Trace) Same(o *Trace) bool { return DiffTraces(tr, o) == "" }
+
 // String renders the trace compactly.
 func (tr *Trace) String() string {
 	s := fmt.Sprintf("%s cfg=%s %s:", tr.Protocol, tr.Config, tr.Pattern)

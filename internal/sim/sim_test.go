@@ -271,3 +271,55 @@ func TestRunAllParallelErrorPropagates(t *testing.T) {
 		t.Fatal("error not propagated")
 	}
 }
+
+func TestDiffDecisions(t *testing.T) {
+	pat := failures.FailureFree(failures.Crash, 3, 2)
+	cfg := types.ConfigFromBits(3, 0b110)
+	a := NewTrace("x", cfg, pat)
+	b := NewTrace("x", cfg, pat)
+	if d := DiffDecisions(a, b); d != "" {
+		t.Fatalf("empty traces differ: %s", d)
+	}
+	a.Record(1, types.Zero, 2)
+	if d := DiffDecisions(a, b); !strings.Contains(d, "proc 1") {
+		t.Fatalf("missing decision undetected: %q", d)
+	}
+	b.Record(1, types.Zero, 2)
+	if d := DiffDecisions(a, b); d != "" {
+		t.Fatalf("equal decisions differ: %s", d)
+	}
+	// Same value, different time.
+	c := NewTrace("x", cfg, pat)
+	c.Record(1, types.Zero, 1)
+	if d := DiffDecisions(a, c); !strings.Contains(d, "time") {
+		t.Fatalf("time divergence undetected: %q", d)
+	}
+	// Different system sizes.
+	small := NewTrace("x", types.ConfigFromBits(2, 0), failures.FailureFree(failures.Crash, 2, 1))
+	if d := DiffDecisions(a, small); !strings.Contains(d, "sizes") {
+		t.Fatalf("size divergence undetected: %q", d)
+	}
+}
+
+func TestDiffTracesCounters(t *testing.T) {
+	pat := failures.FailureFree(failures.Crash, 3, 2)
+	cfg := types.ConfigFromBits(3, 0)
+	a := NewTrace("x", cfg, pat)
+	b := NewTrace("x", cfg, pat)
+	a.Sent, a.Delivered = 12, 10
+	b.Sent, b.Delivered = 12, 10
+	if !a.Same(b) {
+		t.Fatalf("equal traces differ: %s", DiffTraces(a, b))
+	}
+	b.Delivered = 9
+	if d := DiffTraces(a, b); !strings.Contains(d, "delivered") {
+		t.Fatalf("delivered divergence undetected: %q", d)
+	}
+	b.Sent, b.Delivered = 11, 10
+	if d := DiffTraces(a, b); !strings.Contains(d, "sent") {
+		t.Fatalf("sent divergence undetected: %q", d)
+	}
+	if a.Same(b) {
+		t.Fatal("Same ignored counters")
+	}
+}
