@@ -17,6 +17,7 @@ import (
 	"os"
 
 	eba "github.com/eventual-agreement/eba"
+	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +34,13 @@ func run() error {
 		modeName = flag.String("mode", "crash", "crash | omission")
 		h        = flag.Int("h", 0, "horizon (default t+2)")
 		limit    = flag.Int("limit", 2_000_000, "omission pattern limit (0 = unlimited)")
+		tel      = telemetry.BindFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		return err
+	}
+	defer tel.Close()
 	if *h == 0 {
 		*h = *t + 2
 	}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/eventual-agreement/eba/internal/exp"
+	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
 func main() {
@@ -24,8 +25,14 @@ func main() {
 		ids     = flag.String("e", "", "comma-separated experiment IDs (default: all)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.Bool("json", false, "emit results as JSON instead of tables")
+		tel     = telemetry.BindFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "ebaexp:", err)
+		os.Exit(1)
+	}
+	defer tel.Close()
 
 	if *list {
 		for _, e := range exp.All() {
@@ -76,6 +83,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "ebaexp: %d experiment(s) failed\n", failed)
+		tel.Close() // os.Exit skips defers; still emit the snapshot
 		os.Exit(1)
 	}
 }

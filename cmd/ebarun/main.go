@@ -31,6 +31,7 @@ import (
 	"time"
 
 	eba "github.com/eventual-agreement/eba"
+	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
 func main() {
@@ -54,8 +55,13 @@ func run() error {
 		chaosSpec = flag.String("chaos", "", `run on the resilient TCP runtime with seeded fault injection: "auto" or a mechanism list, e.g. "drop,delay,kill"`)
 		seed      = flag.Int64("seed", 1, "chaos plan seed (with -chaos)")
 		deadline  = flag.Duration("deadline", 0, "per-round receive deadline (with -chaos; 0 = default)")
+		tel       = telemetry.BindFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		return err
+	}
+	defer tel.Close()
 	if *verbose && *live {
 		return fmt.Errorf("-verbose requires the deterministic engine (drop -live)")
 	}
@@ -119,20 +125,22 @@ func run() error {
 	}
 
 	params := eba.Params{N: n, T: t}
-	engine := eba.Run
 	engineName := "deterministic engine"
 	if *live {
-		engine = eba.RunLive
 		engineName = "goroutine transport"
 	}
 	fmt.Printf("%s on %s | n=%d t=%d h=%d | config %s | %s\n",
 		proto.Name(), engineName, n, t, h, cfg, pat)
 
 	var tr *eba.Trace
-	if *verbose {
-		tr, err = eba.RunObserved(proto, params, cfg, pat, &eba.TextObserver{W: os.Stdout})
-	} else {
-		tr, err = engine(proto, params, cfg, pat)
+	switch {
+	case *live:
+		tr, err = eba.RunLive(proto, params, cfg, pat)
+	case *verbose:
+		tr, err = eba.RunObserved(proto, params, cfg, pat,
+			eba.TeeObservers(&eba.TextObserver{W: os.Stdout}, eba.NewMetricsObserver()))
+	default:
+		tr, err = eba.RunObserved(proto, params, cfg, pat, eba.NewMetricsObserver())
 	}
 	if err != nil {
 		return err
@@ -191,10 +199,69 @@ func runChaos(protoName string, mode eba.Mode, cfg eba.Config, t, h int, spec st
 		}
 	}
 	fmt.Printf("reconstructed %s (sent %d, delivered %d)\n", tr.Pattern, tr.Sent, tr.Delivered)
-	if err := eba.VerifyResilient(proto, params, tr); err != nil {
-		return err
+
+	// Replay on the deterministic engine with a metrics observer
+	// attached: the same cross-check VerifyResilient performs, but the
+	// replay also feeds the sim layer of the telemetry snapshot.
+	replay, err := eba.RunObserved(proto, params, cfg, tr.Pattern, eba.NewMetricsObserver())
+	if err != nil {
+		return fmt.Errorf("replay under reconstructed pattern failed: %w", err)
+	}
+	if d := eba.DiffTraces(tr, replay); d != "" {
+		return fmt.Errorf("live run diverges from deterministic replay under reconstructed pattern %s: %s", tr.Pattern, d)
 	}
 	fmt.Println("deterministic replay under the reconstructed pattern: identical trace")
+
+	return auditChaos(pair, params, mode, cfg, h, tr)
+}
+
+// auditChaos model-checks the reconstructed run: it enumerates the
+// two-pattern system {failure-free, reconstructed} and (a) reports
+// where continual and eventual common knowledge of ∃0 hold along the
+// reconstructed run, (b) cross-checks every live decision against the
+// model checker's FIP decision for the same pair — sound because the
+// views of a full-information protocol are independent of the decision
+// rule (Proposition 2.2), so the enumerated run's states are exactly
+// the live run's states.
+func auditChaos(pair eba.Pair, params eba.Params, mode eba.Mode, cfg eba.Config, h int, tr *eba.Trace) error {
+	pats := []*eba.Pattern{eba.FailureFree(mode, params.N, h)}
+	if tr.Pattern.Key() != pats[0].Key() {
+		pats = append(pats, tr.Pattern)
+	}
+	sys, err := eba.NewSystemFromPatterns(params, mode, h, pats)
+	if err != nil {
+		return fmt.Errorf("knowledge audit: %w", err)
+	}
+	e := eba.NewEvaluator(sys)
+	run, ok := sys.FindRun(cfg, tr.Pattern.Key())
+	if !ok {
+		return fmt.Errorf("knowledge audit: reconstructed run missing from audit system")
+	}
+
+	nf := eba.Nonfaulty()
+	firstHold := func(f eba.Formula) string {
+		tbl := e.Eval(f)
+		for m := 0; m <= h; m++ {
+			if tbl.Get(sys.PointIndex(eba.Point{Run: run.Index, Time: eba.Round(m)})) {
+				return fmt.Sprintf("from time %d", m)
+			}
+		}
+		return "never (within horizon)"
+	}
+	fmt.Printf("knowledge audit over {failure-free, reconstructed} (%d runs, %d points, %d views):\n",
+		sys.NumRuns(), sys.NumPoints(), sys.Interner.Size())
+	fmt.Printf("  C□_N(∃0) along the reconstructed run: %s\n", firstHold(eba.CBox(nf, eba.Exists0())))
+	fmt.Printf("  C◇_N(∃0) along the reconstructed run: %s\n", firstHold(eba.CDiamond(nf, eba.Exists0())))
+
+	for p := eba.ProcID(0); p < eba.ProcID(params.N); p++ {
+		mv, mat, mok := eba.DecisionAt(sys, pair, run, p)
+		lv, lat, lok := tr.DecisionOf(p)
+		if mok != lok || (mok && (mv != lv || mat != lat)) {
+			return fmt.Errorf("knowledge audit: proc %d live decision (%s@%d, decided=%v) != model checker (%s@%d, decided=%v)",
+				p, lv, lat, lok, mv, mat, mok)
+		}
+	}
+	fmt.Println("  live decisions match the model checker's FIP decisions point for point")
 	return nil
 }
 

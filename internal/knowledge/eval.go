@@ -2,9 +2,91 @@ package knowledge
 
 import (
 	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/telemetry"
 	"github.com/eventual-agreement/eba/internal/types"
 	"github.com/eventual-agreement/eba/internal/views"
 )
+
+// Telemetry handles for the evaluator hot paths. Counters are cheap
+// (one atomic add) and always on; histograms and spans are gated on
+// telemetry.Enabled / TraceEnabled at the call sites that need extra
+// work to produce a sample.
+var (
+	mEvalCacheHits   = telemetry.Default().Counter("eba_knowledge_eval_cache_hits_total")
+	mEvalCacheMisses = telemetry.Default().Counter("eba_knowledge_eval_cache_misses_total")
+	mReachPointSize  = telemetry.Default().Histogram("eba_knowledge_reachable_set_size",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384}, telemetry.L("space", "points"))
+	mReachRunSize = telemetry.Default().Histogram("eba_knowledge_reachable_set_size",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384}, telemetry.L("space", "runs"))
+	mFixpointCDiamond = telemetry.Default().Counter("eba_knowledge_fixedpoint_iterations_total", telemetry.L("op", "cdiamond"))
+	mFixpointCBoxIter = telemetry.Default().Counter("eba_knowledge_fixedpoint_iterations_total", telemetry.L("op", "cbox_iterative"))
+	mFixpointCIter    = telemetry.Default().Counter("eba_knowledge_fixedpoint_iterations_total", telemetry.L("op", "c_iter"))
+
+	// mEvalByOp pre-registers one eval counter per operator so the Eval
+	// hot path never takes the registry lock.
+	mEvalByOp = func() map[string]*telemetry.Counter {
+		ops := []string{"const", "atom", "not", "and", "or", "k", "b", "e", "c",
+			"box", "diamond", "cbox", "henceforth", "future", "ediamond", "cdiamond", "unknown"}
+		m := make(map[string]*telemetry.Counter, len(ops))
+		for _, op := range ops {
+			m[op] = telemetry.Default().Counter("eba_knowledge_eval_total", telemetry.L("op", op))
+		}
+		return m
+	}()
+)
+
+// opName labels a formula node for the per-operator eval counter.
+func opName(f Formula) string {
+	switch f.(type) {
+	case *constF:
+		return "const"
+	case *atomF:
+		return "atom"
+	case *notF:
+		return "not"
+	case *andF:
+		return "and"
+	case *orF:
+		return "or"
+	case *kF:
+		return "k"
+	case *bF:
+		return "b"
+	case *eF:
+		return "e"
+	case *cF:
+		return "c"
+	case *boxF:
+		return "box"
+	case *diamondF:
+		return "diamond"
+	case *cboxF:
+		return "cbox"
+	case *henceforthF:
+		return "henceforth"
+	case *futureF:
+		return "future"
+	case *ediamondF:
+		return "ediamond"
+	case *cdiamondF:
+		return "cdiamond"
+	default:
+		return "unknown"
+	}
+}
+
+// observeComponentSizes records the size distribution of a union-find's
+// components into h. Only called when telemetry is enabled: it costs a
+// pass over the structure.
+func observeComponentSizes(uf *unionFind, h *telemetry.Histogram) {
+	sizes := make(map[int]int)
+	for i := range uf.parent {
+		sizes[uf.find(i)]++
+	}
+	for _, sz := range sizes {
+		h.Observe(float64(sz))
+	}
+}
 
 // Evaluator computes truth tables of formulas over one enumerated
 // system, memoizing by formula node identity and caching per-set
@@ -12,6 +94,9 @@ import (
 type Evaluator struct {
 	sys  *system.System
 	memo map[Formula]*Bits
+	// depth tracks Eval recursion so only the outermost call opens a
+	// trace span.
+	depth int
 
 	// members caches S(pt) tables per nonrigid set.
 	members map[NonrigidSet][]types.ProcSet
@@ -59,8 +144,18 @@ func (e *Evaluator) FailingPoint(f Formula) (system.Point, bool) {
 // is owned by the evaluator's memo; callers must not modify it.
 func (e *Evaluator) Eval(f Formula) *Bits {
 	if tbl, ok := e.memo[f]; ok {
+		mEvalCacheHits.Inc()
 		return tbl
 	}
+	mEvalCacheMisses.Inc()
+	op := opName(f)
+	mEvalByOp[op].Inc()
+	if e.depth == 0 {
+		sp := telemetry.BeginSpan("knowledge.eval", telemetry.L("op", op))
+		defer sp.End()
+	}
+	e.depth++
+	defer func() { e.depth-- }()
 	var tbl *Bits
 	switch g := f.(type) {
 	case *constF:
@@ -224,6 +319,9 @@ func (e *Evaluator) pointComponents(s NonrigidSet) *unionFind {
 		})
 	})
 	e.pointComp[s] = uf
+	if telemetry.Enabled() {
+		observeComponentSizes(uf, mReachPointSize)
+	}
 	return uf
 }
 
@@ -333,6 +431,7 @@ func (e *Evaluator) evalCDiamond(s NonrigidSet, ft *Bits) *Bits {
 	x := NewBits(e.sys.NumPoints())
 	x.Fill(true)
 	for {
+		mFixpointCDiamond.Inc()
 		arg := ft.Clone()
 		arg.AndWith(x)
 		next := e.evalEDiamond(s, arg)
@@ -377,6 +476,9 @@ func (e *Evaluator) runComponents(s NonrigidSet) *unionFind {
 		})
 	})
 	e.runComp[s] = uf
+	if telemetry.Enabled() {
+		observeComponentSizes(uf, mReachRunSize)
+	}
 	return uf
 }
 
@@ -438,6 +540,7 @@ func (e *Evaluator) CIterConvergence(s NonrigidSet, f Formula, maxDepth int) (de
 	cur := e.evalE(s, e.Eval(f))
 	acc := cur.Clone()
 	for k := 1; k <= maxDepth; k++ {
+		mFixpointCIter.Inc()
 		if acc.Equal(final) {
 			return k, true
 		}
@@ -456,6 +559,7 @@ func (e *Evaluator) CBoxIterative(s NonrigidSet, f Formula) *Bits {
 	x := NewBits(e.sys.NumPoints())
 	x.Fill(true)
 	for {
+		mFixpointCBoxIter.Inc()
 		arg := ft.Clone()
 		arg.AndWith(x)
 		next := e.evalBox(e.evalE(s, arg), false)

@@ -1,0 +1,158 @@
+package nettransport
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/chaos"
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/protocols"
+	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/telemetry"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// patternOmissions counts the messages the pattern suppresses over the
+// full mesh — in a full-information protocol every processor sends to
+// every other processor in every round, so this is exactly the number
+// of required-but-undelivered messages the run must exhibit.
+func patternOmissions(pat *failures.Pattern) int {
+	n, h := pat.N(), pat.Horizon()
+	omitted := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			for r := types.Round(1); int(r) <= h; r++ {
+				if !pat.Delivers(types.ProcID(i), r, types.ProcID(j)) {
+					omitted++
+				}
+			}
+		}
+	}
+	return omitted
+}
+
+// TestResilientChaosTelemetryAccounting is the end-to-end consistency
+// check between the two independent message accountings of a chaos
+// run: the telemetry counters (incremented beside the send/receive
+// paths) and the failures.Observation that reconstruction is built
+// from. For the run's reconstructed pattern it must hold that
+//
+//	required − delivered (telemetry) = omissions(pattern) = Sent − Delivered (observation)
+//
+// The test also writes the metrics snapshot and the JSONL trace of the
+// run as artifacts (EBA_TELEMETRY_ARTIFACT_DIR, or a test temp dir),
+// which CI uploads.
+func TestResilientChaosTelemetryAccounting(t *testing.T) {
+	artifactDir := os.Getenv("EBA_TELEMETRY_ARTIFACT_DIR")
+	if artifactDir == "" {
+		artifactDir = t.TempDir()
+	} else if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+		t.Fatalf("artifact dir: %v", err)
+	}
+	traceFile, err := os.Create(filepath.Join(artifactDir, "chaos_trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := telemetry.SetTraceWriter(traceFile)
+	defer func() {
+		telemetry.SetTraceWriter(nil)
+		traceFile.Close()
+	}()
+
+	params := types.Params{N: 4, T: 2}
+	const h = 3
+	proto := fip.WireProtocol(protocols.Chain0SyntacticPair())
+	plan, err := chaos.New(failures.Omission, params, h, 7, chaos.Drop, chaos.Delay, chaos.Kill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := types.ConfigFromBits(params.N, 0b0111)
+
+	// The retry-on-transient-reconstruction-failure loop of runVerified,
+	// inlined so the counter baselines are re-read per attempt (a failed
+	// attempt still increments the counters).
+	reg := telemetry.Default()
+	var (
+		tr                 *sim.Trace
+		reqDelta, delDelta uint64
+	)
+	deadline := testDeadline
+	for attempt := 1; ; attempt++ {
+		req0 := reg.Counter("eba_net_messages_required_total").Value()
+		del0 := reg.Counter("eba_net_messages_delivered_total").Value()
+		var err error
+		tr, err = RunResilient(proto, params, cfg, Options{Plan: plan, Deadline: deadline})
+		if err != nil {
+			var rerr *ReconstructionError
+			if errors.As(err, &rerr) && attempt < 3 {
+				t.Logf("attempt %d (deadline %v): %v — retrying", attempt, deadline, err)
+				deadline *= 2
+				continue
+			}
+			t.Fatalf("RunResilient: %v (plan %s)", err, plan)
+		}
+		if err := VerifyReconstruction(proto, params, tr); err != nil {
+			t.Fatal(err)
+		}
+		reqDelta = reg.Counter("eba_net_messages_required_total").Value() - req0
+		delDelta = reg.Counter("eba_net_messages_delivered_total").Value() - del0
+		break
+	}
+
+	// Telemetry vs observation: same counts from independent call sites.
+	if int(reqDelta) != tr.Sent || int(delDelta) != tr.Delivered {
+		t.Errorf("telemetry counted required=%d delivered=%d; observation counted %d/%d",
+			reqDelta, delDelta, tr.Sent, tr.Delivered)
+	}
+	// Telemetry vs reconstructed pattern: the counter difference is the
+	// pattern's omission count.
+	if want := patternOmissions(tr.Pattern); int(reqDelta-delDelta) != want {
+		t.Errorf("telemetry shows %d omissions (required−delivered), reconstructed pattern %s implies %d",
+			reqDelta-delDelta, tr.Pattern, want)
+	}
+
+	// Flush the trace and make sure it parses (round-trip), then write
+	// the metrics snapshot artifact.
+	telemetry.SetTraceWriter(nil)
+	if err := tracer.Err(); err != nil {
+		t.Fatalf("trace writer: %v", err)
+	}
+	if err := traceFile.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.Open(filepath.Join(artifactDir, "chaos_trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	events, err := telemetry.ReadEvents(raw)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	var sawRun bool
+	for _, ev := range events {
+		if ev.Name == "net.run_resilient" {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Errorf("trace has no net.run_resilient span (%d events)", len(events))
+	}
+
+	snapFile, err := os.Create(filepath.Join(artifactDir, "chaos_metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WritePrometheus(snapFile); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := snapFile.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

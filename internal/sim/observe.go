@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/eventual-agreement/eba/internal/telemetry"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// Telemetry handles for the deterministic engine. All are plain
+// counters (atomic adds), so a single MetricsObserver can be shared
+// across concurrently observed runs.
+var (
+	mSimRounds    = telemetry.Default().Counter("eba_sim_rounds_total")
+	mSimDelivered = telemetry.Default().Counter("eba_sim_messages_total", telemetry.L("fate", "delivered"))
+	mSimOmitted   = telemetry.Default().Counter("eba_sim_messages_total", telemetry.L("fate", "omitted"))
+)
+
+// MetricsObserver feeds run events into the telemetry registry:
+// rounds executed, message fates, and decisions by round. It keeps no
+// per-run state, so one instance may observe any number of runs,
+// concurrently or not. The zero value is ready to use.
+type MetricsObserver struct{}
+
+var _ Observer = (*MetricsObserver)(nil)
+
+// RoundBegin implements Observer.
+func (o *MetricsObserver) RoundBegin(types.Round) { mSimRounds.Inc() }
+
+// Message implements Observer.
+func (o *MetricsObserver) Message(_ types.Round, _, _ types.ProcID, delivered bool) {
+	if delivered {
+		mSimDelivered.Inc()
+	} else {
+		mSimOmitted.Inc()
+	}
+}
+
+// Decide implements Observer. Decisions are counted per decision time,
+// giving the distribution of how quickly the protocol settles.
+func (o *MetricsObserver) Decide(at types.Round, _ types.ProcID, _ types.Value) {
+	telemetry.Default().Counter("eba_sim_decisions_total", telemetry.L("round", fmt.Sprint(at))).Inc()
+	telemetry.Emit("sim.decide", telemetry.L("round", fmt.Sprint(at)))
+}
+
+// Tee fans run events out to several observers in order. Nil entries
+// are skipped; a Tee of zero non-nil observers behaves like a nil
+// Observer.
+func Tee(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	return teeObserver(live)
+}
+
+type teeObserver []Observer
+
+func (t teeObserver) RoundBegin(r types.Round) {
+	for _, o := range t {
+		o.RoundBegin(r)
+	}
+}
+
+func (t teeObserver) Message(r types.Round, from, to types.ProcID, delivered bool) {
+	for _, o := range t {
+		o.Message(r, from, to, delivered)
+	}
+}
+
+func (t teeObserver) Decide(at types.Round, p types.ProcID, v types.Value) {
+	for _, o := range t {
+		o.Decide(at, p, v)
+	}
+}

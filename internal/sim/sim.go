@@ -206,8 +206,16 @@ func ValidateRun(params types.Params, cfg types.Config, pat *failures.Pattern) e
 
 // Observer receives run events as the deterministic engine produces
 // them: round boundaries, per-link message fates, and decisions. A
-// nil Observer is silent; all methods are called from the engine's
-// goroutine.
+// nil Observer is silent.
+//
+// Contract: one Observer value observes one run at a time. Within a
+// run all methods are called sequentially from the engine's goroutine,
+// so implementations need no internal synchronization for per-run
+// state — but RunAllParallel drives many runs concurrently, so an
+// Observer shared across runs (or any observer writing to a shared
+// sink such as a stream) must synchronize its side effects itself.
+// TextObserver and MetricsObserver are safe to share; custom
+// observers that buffer per-run state are not.
 type Observer interface {
 	// RoundBegin announces round r (1-based).
 	RoundBegin(r types.Round)
@@ -296,15 +304,22 @@ func RunObserved(p Protocol, params types.Params, cfg types.Config, pat *failure
 }
 
 // TextObserver renders run events as indented text, for command-line
-// traces.
+// traces. Writes are serialized by an internal mutex, so one
+// TextObserver may be shared across concurrently observed runs
+// (RunAllParallel) without tearing lines — though the interleaving of
+// lines from different runs is then arbitrary.
 type TextObserver struct {
 	W io.Writer
+
+	mu sync.Mutex
 }
 
 var _ Observer = (*TextObserver)(nil)
 
 // RoundBegin implements Observer.
 func (o *TextObserver) RoundBegin(r types.Round) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	fmt.Fprintf(o.W, "round %d:\n", r)
 }
 
@@ -316,11 +331,15 @@ func (o *TextObserver) Message(r types.Round, from, to types.ProcID, delivered b
 		arrow = "⇥"
 		note = "  (omitted)"
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	fmt.Fprintf(o.W, "  %d %s %d%s\n", from, arrow, to, note)
 }
 
 // Decide implements Observer.
 func (o *TextObserver) Decide(at types.Round, p types.ProcID, v types.Value) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	fmt.Fprintf(o.W, "  * processor %d decides %s at time %d\n", p, v, at)
 }
 

@@ -20,10 +20,22 @@ package system
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/telemetry"
 	"github.com/eventual-agreement/eba/internal/types"
 	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// Telemetry handles for enumeration. Counters accumulate across all
+// systems built by the process (the knowledge audit in ebarun builds
+// several); the histogram gives the wall-time distribution per build.
+var (
+	mRunsEnumerated   = telemetry.Default().Counter("eba_system_runs_enumerated_total")
+	mPointsEnumerated = telemetry.Default().Counter("eba_system_points_enumerated_total")
+	mEnumSeconds      = telemetry.Default().Histogram("eba_system_enumeration_seconds",
+		[]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300})
 )
 
 // Point identifies a point (r, m): run index and time.
@@ -97,6 +109,18 @@ func FromPatterns(params types.Params, mode failures.Mode, horizon int, pats []*
 	if len(pats) == 0 {
 		return nil, fmt.Errorf("system: no failure patterns")
 	}
+	var start time.Time
+	if telemetry.Enabled() {
+		start = time.Now()
+		sp := telemetry.BeginSpan("system.enumerate",
+			telemetry.L("n", fmt.Sprint(params.N)),
+			telemetry.L("t", fmt.Sprint(params.T)),
+			telemetry.L("mode", mode.String()),
+			telemetry.L("horizon", fmt.Sprint(horizon)),
+			telemetry.L("patterns", fmt.Sprint(len(pats))))
+		defer sp.End()
+		defer func() { mEnumSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	in := views.NewInterner(params.N)
 	sys := &System{
 		Params:   params,
@@ -138,6 +162,8 @@ func FromPatterns(params types.Params, mode failures.Mode, horizon int, pats []*
 			}
 		}
 	}
+	mRunsEnumerated.Add(uint64(len(sys.Runs)))
+	mPointsEnumerated.Add(uint64(sys.NumPoints()))
 	return sys, nil
 }
 

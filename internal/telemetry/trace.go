@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one line of the JSONL trace stream: a completed span (with
+// a monotonic-clock duration) or an instantaneous run event.
+type Event struct {
+	// T is the event time in nanoseconds since the tracer's epoch,
+	// read from the monotonic clock. For spans it is the begin time.
+	T int64 `json:"t_ns"`
+	// Type is "span" or "event".
+	Type string `json:"type"`
+	// Name identifies the span or event (dotted layer.name).
+	Name string `json:"name"`
+	// Dur is the span duration in nanoseconds (spans only).
+	Dur int64 `json:"dur_ns,omitempty"`
+	// Labels carries the span/event labels.
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Tracer serializes spans and events onto one writer as JSONL, one
+// event per line. It is safe for concurrent use; all durations come
+// from the monotonic clock.
+type Tracer struct {
+	epoch time.Time
+
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewTracer creates a tracer writing to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{epoch: time.Now(), w: w}
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) emit(ev Event) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		// Labels are map[string]string and the rest are scalars, so
+		// this cannot happen; record it rather than panic if it does.
+		t.mu.Lock()
+		if t.err == nil {
+			t.err = err
+		}
+		t.mu.Unlock()
+		return
+	}
+	line = append(line, '\n')
+	t.mu.Lock()
+	if _, err := t.w.Write(line); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+}
+
+// Event records an instantaneous event.
+func (t *Tracer) Event(name string, labels ...Label) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		T:      time.Since(t.epoch).Nanoseconds(),
+		Type:   "event",
+		Name:   name,
+		Labels: labelMap(sortedLabels(labels)),
+	})
+}
+
+// Begin starts a span. The returned Span's End emits the JSONL line;
+// a zero Span (from a disabled tracer) is a no-op.
+func (t *Tracer) Begin(name string, labels ...Label) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, labels: labels, start: time.Now()}
+}
+
+// Span is one in-flight span. Copying is fine; End on the zero value
+// is a no-op.
+type Span struct {
+	t      *Tracer
+	name   string
+	labels []Label
+	start  time.Time
+}
+
+// End completes the span and writes its event.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.emit(Event{
+		T:      s.start.Sub(s.t.epoch).Nanoseconds(),
+		Type:   "span",
+		Name:   s.name,
+		Dur:    time.Since(s.start).Nanoseconds(),
+		Labels: labelMap(sortedLabels(s.labels)),
+	})
+}
+
+// The process-wide default tracer, used by every instrumentation site.
+// nil (the initial state) means tracing is off and BeginSpan/Emit are
+// cheap no-ops.
+var defaultTracer atomic.Pointer[Tracer]
+
+// SetTraceWriter routes the default tracer to w; nil disables tracing.
+// It returns the tracer (nil when disabled) so callers can check Err
+// after the run.
+func SetTraceWriter(w io.Writer) *Tracer {
+	if w == nil {
+		defaultTracer.Store(nil)
+		return nil
+	}
+	t := NewTracer(w)
+	defaultTracer.Store(t)
+	return t
+}
+
+// TraceEnabled reports whether a default tracer is installed. Call
+// sites use it to skip label formatting when tracing is off.
+func TraceEnabled() bool { return defaultTracer.Load() != nil }
+
+// BeginSpan starts a span on the default tracer (no-op Span when
+// tracing is off or instrumentation is disabled).
+func BeginSpan(name string, labels ...Label) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return defaultTracer.Load().Begin(name, labels...)
+}
+
+// Emit records an event on the default tracer (no-op when tracing is
+// off or instrumentation is disabled).
+func Emit(name string, labels ...Label) {
+	if !enabled.Load() {
+		return
+	}
+	defaultTracer.Load().Event(name, labels...)
+}
+
+// ReadEvents parses a JSONL trace stream back into events — the
+// round-trip used by tests and by tools that post-process run traces.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: bad trace line %d: %w", len(out)+1, err)
+		}
+		if ev.Type != "span" && ev.Type != "event" {
+			return nil, fmt.Errorf("telemetry: bad trace line %d: unknown type %q", len(out)+1, ev.Type)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTraceRoundTrip writes spans and events concurrently, parses the
+// JSONL stream back, and requires the same set of events: every line
+// valid, nothing lost or torn by interleaving.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf lockedBuffer
+	tr := NewTracer(&buf)
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Begin("work.span", L("worker", fmt.Sprint(w)), L("i", fmt.Sprint(i)))
+				sp.End()
+				tr.Event("work.event", L("worker", fmt.Sprint(w)), L("i", fmt.Sprint(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2*workers*perWorker {
+		t.Fatalf("parsed %d events, want %d", len(events), 2*workers*perWorker)
+	}
+	seen := make(map[string]int)
+	for _, ev := range events {
+		if ev.T < 0 {
+			t.Fatalf("negative timestamp: %+v", ev)
+		}
+		switch ev.Type {
+		case "span":
+			if ev.Name != "work.span" || ev.Dur < 0 {
+				t.Fatalf("bad span: %+v", ev)
+			}
+		case "event":
+			if ev.Name != "work.event" {
+				t.Fatalf("bad event: %+v", ev)
+			}
+		}
+		seen[ev.Type+"/"+ev.Labels["worker"]+"/"+ev.Labels["i"]]++
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			for _, typ := range []string{"span", "event"} {
+				key := fmt.Sprintf("%s/%d/%d", typ, w, i)
+				if seen[key] != 1 {
+					t.Fatalf("%s seen %d times", key, seen[key])
+				}
+			}
+		}
+	}
+}
+
+// TestTraceSameSpans is the write → parse → same-spans round-trip on a
+// deterministic single-goroutine trace: parsed events must match the
+// written ones field for field (durations and timestamps are whatever
+// the clock said, so they are compared for presence and order only).
+func TestTraceSameSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	outer := tr.Begin("outer", L("k", "v"))
+	inner := tr.Begin("inner")
+	inner.End()
+	tr.Event("mark", L("round", "3"))
+	outer.End()
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type shape struct {
+		Type, Name string
+		Labels     map[string]string
+	}
+	var got []shape
+	for _, ev := range events {
+		got = append(got, shape{ev.Type, ev.Name, ev.Labels})
+	}
+	want := []shape{
+		{"span", "inner", nil},
+		{"event", "mark", map[string]string{"round": "3"}},
+		{"span", "outer", map[string]string{"k": "v"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Monotonic ordering of begin times: inner began after outer.
+	if events[0].T < events[2].T {
+		t.Errorf("inner span began at %d, before outer at %d", events[0].T, events[2].T)
+	}
+}
+
+// TestDefaultTracerGate checks BeginSpan/Emit are no-ops without a
+// writer and produce events with one.
+func TestDefaultTracerGate(t *testing.T) {
+	defer SetTraceWriter(nil)
+
+	SetTraceWriter(nil)
+	if TraceEnabled() {
+		t.Fatal("TraceEnabled with nil writer")
+	}
+	BeginSpan("ghost").End() // must not panic
+	Emit("ghost")
+
+	var buf lockedBuffer
+	tr := SetTraceWriter(&buf)
+	BeginSpan("real", L("a", "b")).End()
+	Emit("mark")
+	SetTraceWriter(nil)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Name != "real" || events[1].Name != "mark" {
+		t.Fatalf("default tracer events = %+v", events)
+	}
+}
+
+// TestReadEventsRejectsGarbage checks the parser reports malformed
+// lines instead of silently skipping them.
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"type\":\"span\",\"name\":\"ok\",\"t_ns\":1}\nnot json\n"))
+	if err == nil {
+		t.Error("malformed line accepted")
+	}
+	_, err = ReadEvents(strings.NewReader("{\"type\":\"wibble\",\"name\":\"x\",\"t_ns\":1}\n"))
+	if err == nil {
+		t.Error("unknown event type accepted")
+	}
+}
+
+// lockedBuffer is a bytes.Buffer safe for concurrent writers — the
+// tracer serializes writes itself, but tests also read it back.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}

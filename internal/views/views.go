@@ -24,8 +24,25 @@ package views
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/eventual-agreement/eba/internal/types"
+
+	"github.com/eventual-agreement/eba/internal/telemetry"
+)
+
+// Telemetry handles for the hash-cons table. Several interners can be
+// live at once (one per process in the network runtime), so the size
+// gauge reports the largest table via SetMax rather than a per-instance
+// value. Intern latency is sampled on misses only — the hit path is a
+// map lookup and timing it would cost more than the lookup — and only
+// when telemetry is enabled, because it needs two clock reads.
+var (
+	mInternHits   = telemetry.Default().Counter("eba_views_intern_total", telemetry.L("result", "hit"))
+	mInternMisses = telemetry.Default().Counter("eba_views_intern_total", telemetry.L("result", "miss"))
+	mInternerSize = telemetry.Default().Gauge("eba_views_interner_size_max")
+	mInternMissS  = telemetry.Default().Histogram("eba_views_intern_latency_seconds",
+		[]float64{1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 1e-4, 1e-3})
 )
 
 // ID is an interned view identifier. Equal IDs from the same Interner
@@ -83,7 +100,13 @@ func (in *Interner) Size() int { return len(in.nodes) }
 
 func (in *Interner) intern(key string, nd node) ID {
 	if id, ok := in.index[key]; ok {
+		mInternHits.Inc()
 		return id
+	}
+	mInternMisses.Inc()
+	var start time.Time
+	if telemetry.Enabled() {
+		start = time.Now()
 	}
 	id := ID(len(in.nodes))
 	in.nodes = append(in.nodes, nd)
@@ -94,6 +117,10 @@ func (in *Interner) intern(key string, nd node) ID {
 	in.acceptSets = append(in.acceptSets, nil)
 	in.acceptOK = append(in.acceptOK, false)
 	in.believes0s = append(in.believes0s, 0)
+	if telemetry.Enabled() {
+		mInternerSize.SetMax(float64(len(in.nodes)))
+		mInternMissS.Observe(time.Since(start).Seconds())
+	}
 	return id
 }
 
