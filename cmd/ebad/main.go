@@ -1,0 +1,118 @@
+// Command ebad is the epistemic query daemon: an HTTP service that
+// answers formula queries over enumerated full-information systems,
+// backed by a persistent snapshot store so a system is enumerated
+// once and then served from memory or disk.
+//
+// Endpoints:
+//
+//	POST /v1/query    {"formula":"Cbox E0 -> C E0","n":3,"t":1,"mode":"crash"}
+//	GET  /v1/systems  cache inventory and hit/miss statistics
+//	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text exposition
+//
+// Serve mode:
+//
+//	ebad -addr :8080 -cachedir ~/.cache/eba
+//
+// Load-generator mode (against a running daemon):
+//
+//	ebad -load http://localhost:8080 -queries 200 -workers 8 \
+//	     -f 'Cbox E0 -> C E0' -f 'C E0 -> Cbox E0'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/service"
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/telemetry"
+)
+
+// formulaList collects repeated -f flags.
+type formulaList []string
+
+func (l *formulaList) String() string     { return fmt.Sprint(*l) }
+func (l *formulaList) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ebad:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var formulas formulaList
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cachedir = flag.String("cachedir", "", "snapshot store directory (empty = in-memory only)")
+		maxMem   = flag.Int("maxmem", store.DefaultMaxMem, "max systems held in memory")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-query timeout (0 = none)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace for in-flight queries")
+
+		load    = flag.String("load", "", "load-generator mode: base URL of a running daemon")
+		queries = flag.Int("queries", 100, "load mode: total queries to issue")
+		workers = flag.Int("workers", 8, "load mode: concurrent clients")
+		n       = flag.Int("n", 3, "load mode: processors")
+		t       = flag.Int("t", 1, "load mode: fault bound")
+		mode    = flag.String("mode", "crash", "load mode: crash | omission")
+		horizon = flag.Int("h", 0, "load mode: horizon (default t+2)")
+		limit   = flag.Int("limit", 0, "load mode: omission pattern limit (0 = default)")
+	)
+	flag.Var(&formulas, "f", "load mode: formula to query (repeatable)")
+	tel := telemetry.BindFlags(flag.CommandLine)
+	flag.Parse()
+	if err := tel.Start(); err != nil {
+		return err
+	}
+	defer tel.Close()
+
+	if *load != "" {
+		return runLoad(*load, formulas, *workers, *queries, service.Request{
+			N: *n, T: *t, Mode: *mode, Horizon: *horizon, Limit: *limit,
+		})
+	}
+
+	st, err := store.Open(*cachedir, *maxMem)
+	if err != nil {
+		return err
+	}
+	srv := service.NewServer(service.NewEngine(st, *timeout))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	where := *cachedir
+	if where == "" {
+		where = "(memory only)"
+	}
+	fmt.Fprintf(os.Stderr, "ebad: listening on %s, cache %s\n", *addr, where)
+	return srv.ListenAndServe(ctx, *addr, *grace)
+}
+
+// runLoad drives a remote daemon and prints a JSON throughput report.
+func runLoad(baseURL string, formulas []string, workers, total int, base service.Request) error {
+	if len(formulas) == 0 {
+		formulas = []string{"Cbox E0 -> C E0", "C E0 -> Cbox E0"}
+	}
+	reqs := make([]service.Request, len(formulas))
+	for i, f := range formulas {
+		reqs[i] = base
+		reqs[i].Formula = f
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := service.RunLoad(ctx, baseURL, reqs, workers, total)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

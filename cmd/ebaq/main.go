@@ -1,7 +1,8 @@
 // Command ebaq is a model-checking calculator for the paper's logic:
-// it enumerates a full-information system and evaluates a formula at
-// every point, reporting validity, the count of satisfying points,
-// and a sample counterexample.
+// it evaluates a formula at every point of a full-information system,
+// reporting validity, the count of satisfying points, and a sample
+// counterexample. It shares its query-execution path with the ebad
+// daemon, so -cachedir reuses (and feeds) the same snapshot store.
 //
 // Formula syntax (see the knowledge package's Parse):
 //
@@ -14,16 +15,18 @@
 //	ebaq -f 'Cbox E0 -> C E0'                      # Sec 3.3: valid
 //	ebaq -f 'C E0 -> Cbox E0'                      # ... the converse fails
 //	ebaq -n 3 -t 1 -mode omission -f 'K0 E0 -> B0 E0'
-//	ebaq -f 'knows1=0 -> K1 E0'                    # syntactic = semantic
+//	ebaq -json -cachedir /tmp/eba -f 'knows1=0 -> K1 E0'
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	eba "github.com/eventual-agreement/eba"
-	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/service"
+	"github.com/eventual-agreement/eba/internal/store"
 )
 
 func main() {
@@ -41,53 +44,50 @@ func run() error {
 		h        = flag.Int("h", 0, "horizon (default t+2)")
 		src      = flag.String("f", "", "formula to evaluate (required)")
 		limit    = flag.Int("limit", 2_000_000, "omission pattern limit")
+		jsonOut  = flag.Bool("json", false, "emit the query result as JSON")
+		cachedir = flag.String("cachedir", "", "snapshot store directory (empty = no persistence)")
 	)
 	flag.Parse()
 	if *src == "" {
 		return fmt.Errorf("missing -f formula")
 	}
-	if *h == 0 {
-		*h = *t + 2
-	}
-	var mode eba.Mode
-	switch *modeName {
-	case "crash":
-		mode = eba.Crash
-	case "omission":
-		mode = eba.Omission
-	default:
-		return fmt.Errorf("unknown mode %q", *modeName)
-	}
 
-	f, err := knowledge.Parse(*src)
+	st, err := store.Open(*cachedir, 0)
+	if err != nil {
+		return err
+	}
+	eng := service.NewEngine(st, 0)
+	resp, err := eng.Execute(context.Background(), service.Request{
+		Formula: *src,
+		N:       *n,
+		T:       *t,
+		Mode:    *modeName,
+		Horizon: *h,
+		Limit:   *limit,
+	})
 	if err != nil {
 		return err
 	}
 
-	sys, err := eba.NewSystem(eba.Params{N: *n, T: *t}, mode, *h, *limit)
-	if err != nil {
-		return err
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
 	}
-	e := eba.NewEvaluator(sys)
-	tbl := e.Eval(f)
 
-	fmt.Printf("formula:  %s\n", f)
-	fmt.Printf("system:   %s n=%d t=%d h=%d (%d runs, %d points)\n",
-		mode, *n, *t, *h, sys.NumRuns(), sys.NumPoints())
-	fmt.Printf("true at:  %d / %d points\n", tbl.Count(), tbl.Len())
-	if tbl.All() {
+	sys := resp.System
+	fmt.Printf("formula:  %s\n", resp.Formula)
+	fmt.Printf("system:   %s n=%d t=%d h=%d (%d runs, %d points; %s)\n",
+		sys.Mode, sys.N, sys.T, sys.Horizon, sys.Runs, sys.Points, sys.Origin)
+	fmt.Printf("true at:  %d / %d points\n", resp.TruePoints, resp.TotalPoints)
+	if resp.Valid {
 		fmt.Println("verdict:  VALID")
 		return nil
 	}
 	fmt.Println("verdict:  not valid")
-	for idx := 0; idx < tbl.Len(); idx++ {
-		if !tbl.Get(idx) {
-			pt := sys.PointAt(idx)
-			run := sys.RunOf(pt)
-			fmt.Printf("fails at: time %d of run %d (cfg %s, %s)\n",
-				pt.Time, run.Index, run.Config, run.Pattern)
-			break
-		}
+	if ce := resp.Counterexample; ce != nil {
+		fmt.Printf("fails at: time %d of run %d (cfg %s, %s)\n",
+			ce.Time, ce.Run, ce.Config, ce.Pattern)
 	}
 	return nil
 }

@@ -44,6 +44,7 @@ package eba
 
 import (
 	"math/rand"
+	"time"
 
 	"github.com/eventual-agreement/eba/internal/byzantine"
 	"github.com/eventual-agreement/eba/internal/chaos"
@@ -54,7 +55,9 @@ import (
 	"github.com/eventual-agreement/eba/internal/nettransport"
 	"github.com/eventual-agreement/eba/internal/protocols"
 	"github.com/eventual-agreement/eba/internal/sba"
+	"github.com/eventual-agreement/eba/internal/service"
 	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/store"
 	"github.com/eventual-agreement/eba/internal/system"
 	"github.com/eventual-agreement/eba/internal/transport"
 	"github.com/eventual-agreement/eba/internal/types"
@@ -519,6 +522,43 @@ func CheckEnabling(e *Evaluator, spec CoordinationSpec, p Pair) error {
 // ParseFormula parses the ASCII formula syntax used by cmd/ebaq (see
 // the knowledge package's Parse for the grammar).
 func ParseFormula(src string) (Formula, error) { return knowledge.Parse(src) }
+
+// The query service (cmd/ebad, cmd/ebaq).
+
+type (
+	// SystemStore is the persistent snapshot store: an LRU-bounded
+	// in-memory layer over versioned, content-addressed on-disk
+	// snapshots of enumerated systems and memoized truth tables.
+	SystemStore = store.Store
+	// StoreKey identifies one enumerated system: (n, t, mode, horizon)
+	// plus the omission enumeration limit.
+	StoreKey = store.Key
+	// StoreStats are a store's cumulative cache statistics.
+	StoreStats = store.Stats
+
+	// QueryEngine executes formula queries over stored systems; safe
+	// for concurrent use.
+	QueryEngine = service.Engine
+	// QueryRequest is one formula query.
+	QueryRequest = service.Request
+	// QueryResponse is a query result.
+	QueryResponse = service.Response
+	// QueryServer is the ebad HTTP surface over a QueryEngine.
+	QueryServer = service.Server
+)
+
+// OpenStore opens a snapshot store rooted at dir ("" = memory-only);
+// maxMem bounds resident systems (<= 0 picks the default).
+func OpenStore(dir string, maxMem int) (*SystemStore, error) { return store.Open(dir, maxMem) }
+
+// NewQueryEngine wraps a store for query execution; timeout bounds
+// each query (0 = none).
+func NewQueryEngine(st *SystemStore, timeout time.Duration) *QueryEngine {
+	return service.NewEngine(st, timeout)
+}
+
+// NewQueryServer builds the daemon's HTTP handler set over an engine.
+func NewQueryServer(e *QueryEngine) *QueryServer { return service.NewServer(e) }
 
 // Checkers.
 

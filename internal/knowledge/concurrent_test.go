@@ -1,0 +1,117 @@
+package knowledge
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// TestConcurrentEvaluators is the concurrency contract the ebad
+// daemon relies on (run under -race): one shared immutable System,
+// any number of per-query Evaluators on separate goroutines. The
+// shared mutable state is the Interner's lazily-filled analysis memos
+// (knows atoms, fault evidence, acceptance sets), which must be
+// internally synchronized.
+func TestConcurrentEvaluators(t *testing.T) {
+	sys, err := system.Enumerate(types.Params{N: 3, T: 1}, failures.Omission, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential ground truth, on a fresh evaluator per formula so the
+	// concurrent runs race on cold interner memos, not warmed ones.
+	formulas := []string{
+		"Cbox E0 -> C E0",
+		"C E0 -> Cbox E0",
+		"knows0=0 -> K0 E0",
+		"knows1=1 & knows2=1 -> E1",
+		"nf0 -> (K0 E0 | !K0 E0)",
+		"ev C E0 -> E0",
+		"alw E0 -> Cbox E0",
+	}
+	want := make([]bool, len(formulas))
+	{
+		ref, err := system.Enumerate(types.Params{N: 3, T: 1}, failures.Omission, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, src := range formulas {
+			f, err := Parse(src)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			want[i] = NewEvaluator(ref).Valid(f)
+		}
+	}
+
+	const workersPerFormula = 4
+	var wg sync.WaitGroup
+	for i, src := range formulas {
+		for w := 0; w < workersPerFormula; w++ {
+			wg.Add(1)
+			go func(src string, want bool) {
+				defer wg.Done()
+				f, err := Parse(src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := NewEvaluator(sys).Valid(f); got != want {
+					t.Errorf("%s: concurrent Valid = %v, sequential = %v", src, got, want)
+				}
+			}(src, want[i])
+		}
+	}
+	// The decision-rule analyses used by protocol adapters hit the same
+	// interner memos directly; race them against the evaluators.
+	for w := 0; w < workersPerFormula; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := sys.Interner
+			for id := views.ID(0); int(id) < in.Size(); id++ {
+				in.KnownValues(id)
+				in.FaultEvidence(id)
+				in.AcceptsZeroAt(id)
+				in.BelievesExistsZeroStar(id)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentSharedBits checks that truth tables returned by one
+// evaluator are safe to read from many goroutines (the store hands
+// one *Bits to every waiter of a singleflight).
+func TestConcurrentSharedBits(t *testing.T) {
+	sys, err := system.Enumerate(types.Params{N: 3, T: 1}, failures.Crash, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse("Cbox E0 -> C E0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewEvaluator(sys).Eval(f)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !tbl.All() || tbl.Count() != tbl.Len() {
+				t.Error("shared table read inconsistent")
+			}
+			for i := 0; i < tbl.Len(); i++ {
+				if !tbl.Get(i) {
+					t.Error("bit flipped under concurrent read")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,215 @@
+// Package service is the query-execution layer shared by the ebaq CLI
+// and the ebad daemon. An Engine resolves a query request to a store
+// key, parses the formula, and evaluates it over the (cached) system
+// with a per-query evaluator, so any number of queries can run
+// concurrently against shared immutable systems. The HTTP surface in
+// server.go is a thin codec around Engine.Execute.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/system"
+)
+
+// ErrBadRequest marks errors caused by the request itself (unknown
+// mode, malformed formula, invalid parameters) as opposed to engine
+// failures; the HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("bad request")
+
+// DefaultOmissionLimit bounds omission-mode enumerations that don't
+// give an explicit limit, mirroring the ebaq default.
+const DefaultOmissionLimit = 2_000_000
+
+// Request is one query: a formula plus the system it should be
+// evaluated over. Zero-valued fields take defaults (n=3, t=1, crash,
+// horizon t+2).
+type Request struct {
+	Formula string `json:"formula"`
+	N       int    `json:"n,omitempty"`
+	T       int    `json:"t,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	Horizon int    `json:"horizon,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+}
+
+// SystemSummary describes the system a query ran over.
+type SystemSummary struct {
+	Mode    string `json:"mode"`
+	N       int    `json:"n"`
+	T       int    `json:"t"`
+	Horizon int    `json:"horizon"`
+	Limit   int    `json:"limit,omitempty"`
+	Runs    int    `json:"runs"`
+	Points  int    `json:"points"`
+	Origin  string `json:"origin"`
+}
+
+// Counterexample is a point where the formula fails.
+type Counterexample struct {
+	Run     int    `json:"run"`
+	Time    int    `json:"time"`
+	Config  string `json:"config"`
+	Pattern string `json:"pattern"`
+}
+
+// Response is a query result.
+type Response struct {
+	Formula        string          `json:"formula"`
+	Valid          bool            `json:"valid"`
+	TruePoints     int             `json:"true_points"`
+	TotalPoints    int             `json:"total_points"`
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+	System         SystemSummary   `json:"system"`
+	ResultOrigin   string          `json:"result_origin"`
+	ElapsedMS      float64         `json:"elapsed_ms"`
+}
+
+// Engine executes queries against a snapshot store. Safe for
+// concurrent use: systems are immutable once built, evaluators are
+// per-query, and the store serializes its own bookkeeping.
+type Engine struct {
+	store   *store.Store
+	timeout time.Duration // per query; 0 = no engine-imposed limit
+}
+
+// NewEngine wraps a store. timeout bounds each Execute call (0
+// disables the bound; a caller-supplied context still applies).
+func NewEngine(st *store.Store, timeout time.Duration) *Engine {
+	return &Engine{store: st, timeout: timeout}
+}
+
+// Store returns the engine's store (for inventory endpoints).
+func (e *Engine) Store() *store.Store { return e.store }
+
+// Resolve applies defaults and validates the request, returning the
+// store key and the parsed formula.
+func (e *Engine) Resolve(req Request) (store.Key, knowledge.Formula, error) {
+	if req.Formula == "" {
+		return store.Key{}, nil, fmt.Errorf("%w: missing formula", ErrBadRequest)
+	}
+	f, err := knowledge.Parse(req.Formula)
+	if err != nil {
+		return store.Key{}, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	key := store.Key{N: req.N, T: req.T, Horizon: req.Horizon, Limit: req.Limit}
+	if key.N == 0 {
+		key.N = 3
+	}
+	if key.T == 0 {
+		key.T = 1
+	}
+	switch req.Mode {
+	case "", "crash":
+		key.Mode = failures.Crash
+		// Crash enumeration ignores the limit; normalize it out of the
+		// key so "crash" and "crash, limit=x" share one snapshot.
+		key.Limit = 0
+	case "omission":
+		key.Mode = failures.Omission
+		if key.Limit == 0 {
+			key.Limit = DefaultOmissionLimit
+		}
+	default:
+		return store.Key{}, nil, fmt.Errorf("%w: unknown mode %q (want crash | omission)", ErrBadRequest, req.Mode)
+	}
+	if key.Horizon == 0 {
+		key.Horizon = key.T + 2
+	}
+	if err := key.Validate(); err != nil {
+		return store.Key{}, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return key, f, nil
+}
+
+// Execute runs one query: resolve, load (or enumerate) the system,
+// evaluate the formula, and summarize. The work runs on a separate
+// goroutine so the context deadline is honored even though the
+// evaluator itself is not cancelable; on timeout the goroutine
+// finishes in the background and its result still lands in the store
+// for the retry.
+func (e *Engine) Execute(ctx context.Context, req Request) (*Response, error) {
+	key, f, err := e.Resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		resp, err := e.execute(key, f, req.Formula, start)
+		ch <- outcome{resp, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.resp, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// execute is the uncancelable core of Execute.
+func (e *Engine) execute(key store.Key, f knowledge.Formula, raw string, start time.Time) (*Response, error) {
+	sys, sysOrigin, err := e.store.System(key)
+	if err != nil {
+		return nil, err
+	}
+	// The canonical rendering is the result-cache key, so spacing
+	// variants of one formula share a truth table.
+	canonical := f.String()
+	tbl, resOrigin, err := e.store.Result(key, canonical, func(sys *system.System) (*knowledge.Bits, error) {
+		return knowledge.NewEvaluator(sys).Eval(f), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &Response{
+		Formula:     raw,
+		Valid:       tbl.All(),
+		TruePoints:  tbl.Count(),
+		TotalPoints: tbl.Len(),
+		System: SystemSummary{
+			Mode: key.Mode.String(), N: key.N, T: key.T,
+			Horizon: key.Horizon, Limit: key.Limit,
+			Runs: sys.NumRuns(), Points: sys.NumPoints(),
+			Origin: sysOrigin.String(),
+		},
+		ResultOrigin: resOrigin.String(),
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if !resp.Valid {
+		for idx := 0; idx < tbl.Len(); idx++ {
+			if !tbl.Get(idx) {
+				pt := sys.PointAt(idx)
+				run := sys.RunOf(pt)
+				resp.Counterexample = &Counterexample{
+					Run:     run.Index,
+					Time:    int(pt.Time),
+					Config:  run.Config.String(),
+					Pattern: run.Pattern.String(),
+				}
+				break
+			}
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadReport summarizes a load-generation run against a daemon.
+type LoadReport struct {
+	Queries   int     `json:"queries"`
+	Errors    int     `json:"errors"`
+	ElapsedS  float64 `json:"elapsed_s"`
+	QPS       float64 `json:"qps"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	Workers   int     `json:"workers"`
+	Formulas  int     `json:"formulas"`
+	FirstErr  string  `json:"first_error,omitempty"`
+}
+
+// RunLoad fires total queries at baseURL's /v1/query from workers
+// concurrent clients, rotating through reqs round-robin, and reports
+// throughput and latency percentiles. The first query is issued alone
+// so the system gets enumerated once instead of total times racing
+// the singleflight window with cold-start latency in every sample.
+func RunLoad(ctx context.Context, baseURL string, reqs []Request, workers, total int) (*LoadReport, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("loadgen: no requests")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if total < 1 {
+		total = 1
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	post := func(req Request) (time.Duration, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm the cache: one synchronous query per distinct request.
+	for _, r := range reqs {
+		if _, err := post(r); err != nil {
+			return nil, fmt.Errorf("loadgen warmup: %w", err)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies = make([]time.Duration, 0, total)
+		errs      int
+		firstErr  string
+	)
+	jobs := make(chan Request)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range jobs {
+				d, err := post(req)
+				mu.Lock()
+				if err != nil {
+					errs++
+					if firstErr == "" {
+						firstErr = err.Error()
+					}
+				} else {
+					latencies = append(latencies, d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		select {
+		case jobs <- reqs[i%len(reqs)]:
+		case <-ctx.Done():
+			i = total
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Queries:  len(latencies),
+		Errors:   errs,
+		ElapsedS: elapsed.Seconds(),
+		Workers:  workers,
+		Formulas: len(reqs),
+		FirstErr: firstErr,
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(latencies)-1))
+			return float64(latencies[idx].Microseconds()) / 1e3
+		}
+		rep.P50MS = pct(0.50)
+		rep.P95MS = pct(0.95)
+		rep.MaxMS = float64(latencies[len(latencies)-1].Microseconds()) / 1e3
+	}
+	return rep, nil
+}

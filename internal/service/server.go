@@ -1,0 +1,160 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/telemetry"
+)
+
+// Telemetry handles for the HTTP surface.
+var (
+	mQueriesOK      = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "ok"))
+	mQueriesBad     = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "bad_request"))
+	mQueriesTimeout = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "timeout"))
+	mQueriesErr     = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "error"))
+	mQuerySeconds   = telemetry.Default().Histogram("eba_service_query_seconds",
+		[]float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 30, 120})
+	mInflight = telemetry.Default().Gauge("eba_service_inflight_queries")
+)
+
+// Server is the ebad HTTP surface: query execution, cache inventory,
+// health, and metrics.
+type Server struct {
+	engine   *Engine
+	started  time.Time
+	inflight atomic.Int64
+}
+
+// NewServer wraps an engine.
+func NewServer(e *Engine) *Server {
+	return &Server{engine: e, started: time.Now()}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/systems", s.handleSystems)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		mQueriesBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	mInflight.Set(float64(s.inflight.Add(1)))
+	defer func() { mInflight.Set(float64(s.inflight.Add(-1))) }()
+	start := time.Now()
+	resp, err := s.engine.Execute(r.Context(), req)
+	mQuerySeconds.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		mQueriesOK.Inc()
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, ErrBadRequest):
+		mQueriesBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		mQueriesTimeout.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "query timed out: " + err.Error()})
+	default:
+		mQueriesErr.Inc()
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// systemsBody is the GET /v1/systems response.
+type systemsBody struct {
+	Dir       string             `json:"dir,omitempty"`
+	Memory    []store.SystemInfo `json:"memory"`
+	Snapshots []string           `json:"snapshots,omitempty"`
+	Stats     store.Stats        `json:"stats"`
+}
+
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Store()
+	writeJSON(w, http.StatusOK, systemsBody{
+		Dir:       st.Dir(),
+		Memory:    st.Inventory(),
+		Snapshots: st.DiskSnapshots(),
+		Stats:     st.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := telemetry.Default().Snapshot().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ListenAndServe runs the server on addr until ctx is canceled, then
+// shuts down gracefully: in-flight queries get grace to finish before
+// the listener is torn down.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, grace)
+}
+
+// Serve is ListenAndServe over an existing listener (tests bind to
+// port 0 and read the address back).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

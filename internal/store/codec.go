@@ -1,0 +1,351 @@
+// Package store is the persistence layer under the epistemic query
+// service: a versioned, content-addressed snapshot store for
+// enumerated full-information systems and memoized truth tables,
+// keyed by (n, t, mode, horizon, limit).
+//
+// Enumerating a system is the expensive artifact every tool in the
+// repository needs — ebaq, ebacheck, ebaexp, and the ebad daemon all
+// start from the same ℛ — so the store amortizes it: a deterministic
+// binary codec snapshots the interner, the failure patterns, and every
+// run's view table to disk (with a version header and a SHA-256
+// trailer, so truncated, corrupted, or incompatibly-versioned files
+// are rejected, never half-loaded); an LRU-bounded in-memory layer
+// sits above the disk layer; and a singleflight gate dedups concurrent
+// requests so N simultaneous queries for one system trigger exactly
+// one enumeration.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// Key identifies one enumerated system: the exhaustive adversary for
+// (n, t, mode) over a horizon, with Limit bounding the omission-mode
+// pattern count (0 = unlimited). Limit is part of the identity because
+// it changes the enumerated adversary class, and therefore the
+// knowledge facts, of the stored system.
+type Key struct {
+	N       int           `json:"n"`
+	T       int           `json:"t"`
+	Mode    failures.Mode `json:"-"`
+	Horizon int           `json:"horizon"`
+	Limit   int           `json:"limit,omitempty"`
+}
+
+// Validate checks the key describes an enumerable system.
+func (k Key) Validate() error {
+	if err := (types.Params{N: k.N, T: k.T}).Validate(); err != nil {
+		return err
+	}
+	if !k.Mode.Valid() {
+		return fmt.Errorf("store: invalid mode %v", k.Mode)
+	}
+	if k.Horizon < 1 {
+		return fmt.Errorf("store: horizon %d < 1", k.Horizon)
+	}
+	if k.Limit < 0 {
+		return fmt.Errorf("store: negative limit %d", k.Limit)
+	}
+	return nil
+}
+
+// Slug is the key's filesystem-safe rendering, used for snapshot file
+// names and inventory listings.
+func (k Key) Slug() string {
+	s := fmt.Sprintf("%s-n%d-t%d-h%d", k.Mode, k.N, k.T, k.Horizon)
+	if k.Limit > 0 {
+		s += fmt.Sprintf("-l%d", k.Limit)
+	}
+	return s
+}
+
+// String renders the key for logs and errors.
+func (k Key) String() string { return k.Slug() }
+
+// Snapshot file format. A snapshot is
+//
+//	magic ∥ uvarint(version) ∥ key ∥ interner ∥ patterns ∥ runs ∥ sha256
+//
+// where the trailing SHA-256 covers every preceding byte. The digest
+// doubles as the snapshot's content address: two files with equal
+// digests decode to identical systems, and memoized truth tables are
+// filed under the digest of the system they were computed over.
+const (
+	snapMagic   = "EBASNAP"
+	bitsMagic   = "EBABITS"
+	snapVersion = 1
+	digestLen   = sha256.Size
+)
+
+// EncodeSystem serializes the system under its key. The encoding is
+// deterministic: enumeration order, interner IDs, and pattern tables
+// are all reproducible, so equal keys yield byte-identical snapshots
+// (the golden-digest tests pin this).
+func EncodeSystem(key Key, sys *system.System) ([]byte, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if sys.Params.N != key.N || sys.Params.T != key.T || sys.Mode != key.Mode || sys.Horizon != key.Horizon {
+		return nil, fmt.Errorf("store: system is %s-n%d-t%d-h%d, key is %s",
+			sys.Mode, sys.Params.N, sys.Params.T, sys.Horizon, key)
+	}
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, snapVersion)
+	buf = binary.AppendUvarint(buf, uint64(key.N))
+	buf = binary.AppendUvarint(buf, uint64(key.T))
+	buf = binary.AppendUvarint(buf, uint64(key.Mode))
+	buf = binary.AppendUvarint(buf, uint64(key.Horizon))
+	buf = binary.AppendUvarint(buf, uint64(key.Limit))
+
+	inBlob := views.MarshalInterner(sys.Interner)
+	buf = binary.AppendUvarint(buf, uint64(len(inBlob)))
+	buf = append(buf, inBlob...)
+
+	// Deduplicated pattern table; runs reference it by index. Patterns
+	// appear in first-use order, which for enumerated systems is the
+	// enumeration order.
+	patIdx := make(map[string]int)
+	var pats []*failures.Pattern
+	for _, run := range sys.Runs {
+		k := run.Pattern.Key()
+		if _, ok := patIdx[k]; !ok {
+			patIdx[k] = len(pats)
+			pats = append(pats, run.Pattern)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(pats)))
+	for _, pat := range pats {
+		buf = binary.AppendUvarint(buf, uint64(pat.Faulty()))
+		for _, p := range pat.Faulty().Members() {
+			for r := 1; r <= key.Horizon; r++ {
+				buf = binary.AppendUvarint(buf, uint64(pat.OmittedBy(p, types.Round(r))))
+			}
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(sys.Runs)))
+	for _, run := range sys.Runs {
+		buf = binary.AppendUvarint(buf, run.Config.Bits())
+		buf = binary.AppendUvarint(buf, uint64(patIdx[run.Pattern.Key()]))
+		for m := 0; m <= key.Horizon; m++ {
+			for p := 0; p < key.N; p++ {
+				buf = binary.AppendUvarint(buf, uint64(run.Views[m][p]))
+			}
+		}
+	}
+
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...), nil
+}
+
+// Digest returns the hex content address of an encoded snapshot (its
+// SHA-256 trailer).
+func Digest(data []byte) string {
+	if len(data) < digestLen {
+		return ""
+	}
+	return hex.EncodeToString(data[len(data)-digestLen:])
+}
+
+// DecodeSystem decodes a snapshot produced by EncodeSystem, verifying
+// the magic, the version, and the checksum before reconstructing
+// anything. The returned system is fully usable: the interner is
+// restored with its hash-cons index, and the byView indistinguishability
+// index is rebuilt by system.Reassemble.
+func DecodeSystem(data []byte) (Key, *system.System, error) {
+	var key Key
+	if len(data) < len(snapMagic)+1+digestLen {
+		return key, nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return key, nil, fmt.Errorf("store: bad magic %q", data[:len(snapMagic)])
+	}
+	payload, trailer := data[:len(data)-digestLen], data[len(data)-digestLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], trailer) {
+		return key, nil, fmt.Errorf("store: checksum mismatch (truncated or corrupted snapshot)")
+	}
+	d := decoder{buf: payload[len(snapMagic):]}
+	if v := d.uvarint(); v != snapVersion {
+		return key, nil, fmt.Errorf("store: snapshot version %d, this build reads %d", v, snapVersion)
+	}
+	key.N = int(d.uvarint())
+	key.T = int(d.uvarint())
+	key.Mode = failures.Mode(d.uvarint())
+	key.Horizon = int(d.uvarint())
+	key.Limit = int(d.uvarint())
+	if d.err == nil {
+		d.err = key.Validate()
+	}
+	if d.err != nil {
+		return key, nil, d.err
+	}
+
+	in, err := views.UnmarshalInterner(d.bytes(int(d.uvarint())))
+	if d.err != nil {
+		return key, nil, d.err
+	}
+	if err != nil {
+		return key, nil, err
+	}
+
+	npats := d.uvarint()
+	const maxPatterns = 1 << 24
+	if npats > maxPatterns {
+		return key, nil, fmt.Errorf("store: snapshot claims %d patterns", npats)
+	}
+	pats := make([]*failures.Pattern, 0, npats)
+	for i := uint64(0); i < npats; i++ {
+		faulty := types.ProcSet(d.uvarint())
+		behavior := make(map[types.ProcID]*failures.Behavior, faulty.Len())
+		for _, p := range faulty.Members() {
+			b := &failures.Behavior{Omit: make([]types.ProcSet, key.Horizon)}
+			for r := 0; r < key.Horizon; r++ {
+				b.Omit[r] = types.ProcSet(d.uvarint())
+			}
+			behavior[p] = b
+		}
+		if d.err != nil {
+			return key, nil, d.err
+		}
+		pat, err := failures.NewPattern(key.Mode, key.N, key.Horizon, faulty, behavior)
+		if err != nil {
+			return key, nil, fmt.Errorf("store: snapshot pattern %d: %w", i, err)
+		}
+		pats = append(pats, pat)
+	}
+
+	nruns := d.uvarint()
+	const maxRuns = 1 << 28
+	if nruns == 0 || nruns > maxRuns {
+		return key, nil, fmt.Errorf("store: snapshot claims %d runs", nruns)
+	}
+	runs := make([]*system.Run, 0, nruns)
+	for i := uint64(0); i < nruns; i++ {
+		cfgBits := d.uvarint()
+		if cfgBits >= 1<<uint(key.N) {
+			return key, nil, fmt.Errorf("store: run %d config bits %#x out of range", i, cfgBits)
+		}
+		pi := d.uvarint()
+		if pi >= uint64(len(pats)) {
+			return key, nil, fmt.Errorf("store: run %d references pattern %d of %d", i, pi, len(pats))
+		}
+		vt := make([][]views.ID, key.Horizon+1)
+		for m := 0; m <= key.Horizon; m++ {
+			row := make([]views.ID, key.N)
+			for p := 0; p < key.N; p++ {
+				row[p] = views.ID(d.uvarint())
+			}
+			vt[m] = row
+		}
+		if d.err != nil {
+			return key, nil, d.err
+		}
+		runs = append(runs, &system.Run{
+			Index:   int(i),
+			Config:  types.ConfigFromBits(key.N, cfgBits),
+			Pattern: pats[pi],
+			Views:   vt,
+		})
+	}
+	if d.err != nil {
+		return key, nil, d.err
+	}
+	if d.rest() != 0 {
+		return key, nil, fmt.Errorf("store: %d trailing bytes after snapshot", d.rest())
+	}
+
+	sys, err := system.Reassemble(types.Params{N: key.N, T: key.T}, key.Mode, key.Horizon, in, runs)
+	if err != nil {
+		return key, nil, err
+	}
+	return key, sys, nil
+}
+
+// EncodeResult serializes one memoized truth table together with the
+// formula it answers, with the same version-and-checksum envelope as
+// system snapshots.
+func EncodeResult(formula string, tbl []byte) []byte {
+	buf := make([]byte, 0, len(formula)+len(tbl)+64)
+	buf = append(buf, bitsMagic...)
+	buf = binary.AppendUvarint(buf, snapVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(formula)))
+	buf = append(buf, formula...)
+	buf = binary.AppendUvarint(buf, uint64(len(tbl)))
+	buf = append(buf, tbl...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// DecodeResult decodes a memoized truth table, returning the formula
+// it was computed for and the packed table.
+func DecodeResult(data []byte) (formula string, tbl []byte, err error) {
+	if len(data) < len(bitsMagic)+1+digestLen {
+		return "", nil, fmt.Errorf("store: result too short (%d bytes)", len(data))
+	}
+	if string(data[:len(bitsMagic)]) != bitsMagic {
+		return "", nil, fmt.Errorf("store: bad result magic %q", data[:len(bitsMagic)])
+	}
+	payload, trailer := data[:len(data)-digestLen], data[len(data)-digestLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], trailer) {
+		return "", nil, fmt.Errorf("store: result checksum mismatch")
+	}
+	d := decoder{buf: payload[len(bitsMagic):]}
+	if v := d.uvarint(); v != snapVersion {
+		return "", nil, fmt.Errorf("store: result version %d, this build reads %d", v, snapVersion)
+	}
+	formula = string(d.bytes(int(d.uvarint())))
+	tbl = d.bytes(int(d.uvarint()))
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if d.rest() != 0 {
+		return "", nil, fmt.Errorf("store: %d trailing bytes after result", d.rest())
+	}
+	return formula, tbl, nil
+}
+
+// decoder is a cursor over a snapshot payload with sticky errors, so
+// decode loops stay linear instead of error-checking every varint.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.buf[d.pos:])
+	if k <= 0 {
+		d.err = fmt.Errorf("store: truncated snapshot at byte %d", d.pos)
+		return 0
+	}
+	d.pos += k
+	return v
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.rest() {
+		d.err = fmt.Errorf("store: truncated snapshot at byte %d (want %d more)", d.pos, n)
+		return nil
+	}
+	out := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return out
+}
+
+func (d *decoder) rest() int { return len(d.buf) - d.pos }

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+func testKey() Key {
+	return Key{N: 3, T: 1, Mode: failures.Crash, Horizon: 2}
+}
+
+func enumerateTestSystem(t testing.TB, key Key) *system.System {
+	t.Helper()
+	sys, err := enumerateKey(key)
+	if err != nil {
+		t.Fatalf("enumerate %s: %v", key, err)
+	}
+	return sys
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, key := range []Key{
+		testKey(),
+		{N: 3, T: 1, Mode: failures.Omission, Horizon: 2, Limit: 500},
+		{N: 4, T: 1, Mode: failures.Crash, Horizon: 2},
+	} {
+		t.Run(key.Slug(), func(t *testing.T) {
+			sys := enumerateTestSystem(t, key)
+			data, err := EncodeSystem(key, sys)
+			if err != nil {
+				t.Fatalf("EncodeSystem: %v", err)
+			}
+			gotKey, got, err := DecodeSystem(data)
+			if err != nil {
+				t.Fatalf("DecodeSystem: %v", err)
+			}
+			if gotKey != key {
+				t.Fatalf("decoded key %s, want %s", gotKey, key)
+			}
+			if got.NumRuns() != sys.NumRuns() || got.NumPoints() != sys.NumPoints() {
+				t.Fatalf("decoded %d runs / %d points, want %d / %d",
+					got.NumRuns(), got.NumPoints(), sys.NumRuns(), sys.NumPoints())
+			}
+			if got.Interner.Size() != sys.Interner.Size() {
+				t.Fatalf("decoded interner has %d views, want %d", got.Interner.Size(), sys.Interner.Size())
+			}
+			for r, run := range sys.Runs {
+				dec := got.Runs[r]
+				if dec.Config.Bits() != run.Config.Bits() {
+					t.Fatalf("run %d config differs", r)
+				}
+				if dec.Pattern.Key() != run.Pattern.Key() {
+					t.Fatalf("run %d pattern %q, want %q", r, dec.Pattern.Key(), run.Pattern.Key())
+				}
+				for m := 0; m <= key.Horizon; m++ {
+					for p := 0; p < key.N; p++ {
+						if dec.Views[m][p] != run.Views[m][p] {
+							t.Fatalf("run %d time %d proc %d: view %d, want %d",
+								r, m, p, dec.Views[m][p], run.Views[m][p])
+						}
+					}
+				}
+			}
+			// The indistinguishability index survives: every point class
+			// matches.
+			sys.ForEachPoint(func(pt system.Point) {
+				for p := 0; p < key.N; p++ {
+					id := sys.ViewAt(pt, types.ProcID(p))
+					a, b := sys.PointsWithView(id), got.PointsWithView(id)
+					if len(a) != len(b) {
+						t.Fatalf("view %d class has %d points decoded, want %d", id, len(b), len(a))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("view %d class differs at %d", id, i)
+						}
+					}
+				}
+			})
+			// Deterministic: re-encoding either side is byte-identical.
+			again, err := EncodeSystem(key, got)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if Digest(again) != Digest(data) {
+				t.Fatalf("re-encoded digest %s, want %s", Digest(again), Digest(data))
+			}
+		})
+	}
+}
+
+// TestCodecGoldenDigest pins the snapshot encoding: if this digest
+// changes, the codec's output changed, and snapVersion must be bumped
+// so stale on-disk snapshots are rejected instead of misread.
+func TestCodecGoldenDigest(t *testing.T) {
+	key := testKey()
+	sys := enumerateTestSystem(t, key)
+	data, err := EncodeSystem(key, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = "bb657aa409b130922f91336993b2f761f3351f004e03fca7ee8e6175122b4b78"
+	if got := Digest(data); got != golden {
+		t.Fatalf("snapshot digest = %s, golden = %s\n(If the codec or the enumeration order changed on purpose, bump snapVersion and update this golden.)", got, golden)
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	key := testKey()
+	data, err := EncodeSystem(key, enumerateTestSystem(t, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The version uvarint sits right after the magic; bump it and
+	// re-seal the checksum so only the version is wrong.
+	bad := append([]byte(nil), data...)
+	bad[len(snapMagic)] = snapVersion + 1
+	bad = reseal(bad)
+	if _, _, err := DecodeSystem(bad); err == nil {
+		t.Fatal("version-bumped snapshot decoded without error")
+	}
+}
+
+func TestDecodeRejectsTruncationAndCorruption(t *testing.T) {
+	key := testKey()
+	data, err := EncodeSystem(key, enumerateTestSystem(t, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, digestLen, digestLen + 7, len(data) / 2, len(data) - 1} {
+		if _, _, err := DecodeSystem(data[:len(data)-cut]); err == nil {
+			t.Fatalf("snapshot truncated by %d bytes decoded without error", cut)
+		}
+	}
+	for _, flip := range []int{len(snapMagic) + 3, len(data) / 3, len(data) - digestLen - 1} {
+		bad := append([]byte(nil), data...)
+		bad[flip] ^= 0x40
+		if _, _, err := DecodeSystem(bad); err == nil {
+			t.Fatalf("snapshot with byte %d flipped decoded without error", flip)
+		}
+	}
+	if _, _, err := DecodeSystem([]byte("EBASNAP")); err == nil {
+		t.Fatal("bare magic decoded without error")
+	}
+	if _, _, err := DecodeSystem(nil); err == nil {
+		t.Fatal("nil snapshot decoded without error")
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	formula := "Cbox E0 -> C E0"
+	payload := []byte{1, 2, 3, 4, 5}
+	data := EncodeResult(formula, payload)
+	gotF, gotP, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotF != formula || string(gotP) != string(payload) {
+		t.Fatalf("round trip gave (%q, %v)", gotF, gotP)
+	}
+	if _, _, err := DecodeResult(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated result decoded without error")
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bitsMagic)+2] ^= 1
+	if _, _, err := DecodeResult(bad); err == nil {
+		t.Fatal("corrupted result decoded without error")
+	}
+}
+
+// reseal recomputes the SHA-256 trailer after a deliberate payload
+// edit, so tests can target one specific rejection path.
+func reseal(data []byte) []byte {
+	payload := data[:len(data)-digestLen]
+	sum := sha256.Sum256(payload)
+	return append(append([]byte(nil), payload...), sum[:]...)
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+)
+
+// FuzzDecodeSystem feeds arbitrary bytes to the snapshot decoder. The
+// decoder must reject anything that isn't a well-formed snapshot with
+// an error — never panic, never over-allocate on fabricated counts —
+// because the cache directory is outside the trust boundary of a
+// long-lived daemon.
+func FuzzDecodeSystem(f *testing.F) {
+	key := Key{N: 3, T: 1, Mode: failures.Crash, Horizon: 2}
+	sys, err := enumerateKey(key)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := EncodeSystem(key, sys)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-digestLen])
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gotKey, got, err := DecodeSystem(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must be internally consistent.
+		if verr := gotKey.Validate(); verr != nil {
+			t.Fatalf("decoded system under invalid key %+v: %v", gotKey, verr)
+		}
+		if got.NumRuns() == 0 || got.Interner == nil {
+			t.Fatal("decoded system is empty")
+		}
+	})
+}
+
+// FuzzDecodeResult does the same for the truth-table envelope.
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(EncodeResult("Cbox E0", []byte{1, 2, 3}))
+	f.Add([]byte(bitsMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		formula, tbl, err := DecodeResult(data)
+		if err == nil && formula == "" && len(tbl) == 0 && len(data) > 64 {
+			// Decoding success with empty contents is legal only for a
+			// genuinely empty envelope; nothing to assert beyond no
+			// panic.
+			_ = formula
+		}
+	})
+}

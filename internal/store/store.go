@@ -1,0 +1,486 @@
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/telemetry"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// Telemetry handles. System requests are labelled by where they were
+// satisfied; load times separate the decode path from the enumerate
+// path — the ratio between those two histograms is the store's whole
+// reason to exist.
+var (
+	mSysMem      = telemetry.Default().Counter("eba_store_system_requests_total", telemetry.L("result", "memory"))
+	mSysDisk     = telemetry.Default().Counter("eba_store_system_requests_total", telemetry.L("result", "disk"))
+	mSysEnum     = telemetry.Default().Counter("eba_store_system_requests_total", telemetry.L("result", "enumerated"))
+	mSysShared   = telemetry.Default().Counter("eba_store_system_requests_total", telemetry.L("result", "shared"))
+	mResMem      = telemetry.Default().Counter("eba_store_result_requests_total", telemetry.L("result", "memory"))
+	mResDisk     = telemetry.Default().Counter("eba_store_result_requests_total", telemetry.L("result", "disk"))
+	mResComputed = telemetry.Default().Counter("eba_store_result_requests_total", telemetry.L("result", "computed"))
+	mEvictions   = telemetry.Default().Counter("eba_store_evictions_total")
+	mDiskErrors  = telemetry.Default().Counter("eba_store_disk_errors_total")
+	mMemEntries  = telemetry.Default().Gauge("eba_store_mem_entries")
+	mLoadDisk    = telemetry.Default().Histogram("eba_store_load_seconds",
+		[]float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30}, telemetry.L("source", "disk"))
+	mLoadEnum = telemetry.Default().Histogram("eba_store_load_seconds",
+		[]float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30}, telemetry.L("source", "enumerate"))
+)
+
+// Origin says where a store answer came from.
+type Origin int
+
+// Origins, cheapest first.
+const (
+	OriginMemory Origin = iota
+	OriginDisk
+	OriginEnumerated
+	// OriginShared marks an answer obtained by waiting on another
+	// request's in-flight load (singleflight deduplication).
+	OriginShared
+)
+
+// String names the origin for JSON responses and logs.
+func (o Origin) String() string {
+	switch o {
+	case OriginMemory:
+		return "memory"
+	case OriginDisk:
+		return "disk"
+	case OriginEnumerated:
+		return "enumerated"
+	case OriginShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("Origin(%d)", int(o))
+	}
+}
+
+// Stats are the store's cumulative cache statistics.
+type Stats struct {
+	SystemMemoryHits uint64 `json:"system_memory_hits"`
+	SystemDiskHits   uint64 `json:"system_disk_hits"`
+	Enumerations     uint64 `json:"enumerations"`
+	SharedLoads      uint64 `json:"shared_loads"`
+	ResultMemoryHits uint64 `json:"result_memory_hits"`
+	ResultDiskHits   uint64 `json:"result_disk_hits"`
+	ResultComputes   uint64 `json:"result_computes"`
+	Evictions        uint64 `json:"evictions"`
+	DiskErrors       uint64 `json:"disk_errors"`
+}
+
+// entry is one resident system plus its memoized truth tables.
+type entry struct {
+	key     Key
+	sys     *system.System
+	digest  string // content address; "" when the store is memory-only
+	size    int    // encoded snapshot size in bytes
+	results map[string]*knowledge.Bits
+	elem    *list.Element
+	loaded  time.Time
+	origin  Origin
+}
+
+// flight is one in-progress system load; later requests for the same
+// key wait on done instead of loading again.
+type flight struct {
+	done   chan struct{}
+	sys    *system.System
+	tbl    *knowledge.Bits
+	origin Origin
+	err    error
+}
+
+type resultFlightKey struct {
+	key     Key
+	formula string
+}
+
+// Store is the snapshot store: an LRU-bounded in-memory layer over an
+// optional on-disk layer, with singleflight deduplication on both
+// system loads and truth-table computations. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir    string // "" = memory-only
+	maxMem int
+
+	mu        sync.Mutex
+	entries   map[Key]*entry
+	lru       *list.List // front = most recent; values are *entry
+	inflight  map[Key]*flight
+	resFlight map[resultFlightKey]*flight
+	stats     Stats
+
+	// enumerate builds a system on a full miss; a test hook, and the
+	// place a future multi-backend store would plug in remote builds.
+	enumerate func(Key) (*system.System, error)
+}
+
+// DefaultMaxMem is the default in-memory system bound. Systems are the
+// big artifact (tens to hundreds of MB enumerated); the disk layer
+// makes re-admission after eviction cheap.
+const DefaultMaxMem = 8
+
+// Open creates a store rooted at dir, creating the directory layout if
+// needed. dir == "" gives a memory-only store (no persistence). maxMem
+// bounds the number of in-memory systems; maxMem <= 0 means
+// DefaultMaxMem.
+func Open(dir string, maxMem int) (*Store, error) {
+	if maxMem <= 0 {
+		maxMem = DefaultMaxMem
+	}
+	if dir != "" {
+		for _, sub := range []string{"systems", "results"} {
+			if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+		}
+	}
+	return &Store{
+		dir:       dir,
+		maxMem:    maxMem,
+		entries:   make(map[Key]*entry),
+		lru:       list.New(),
+		inflight:  make(map[Key]*flight),
+		resFlight: make(map[resultFlightKey]*flight),
+		enumerate: enumerateKey,
+	}, nil
+}
+
+func enumerateKey(k Key) (*system.System, error) {
+	return system.Enumerate(types.Params{N: k.N, T: k.T}, k.Mode, k.Horizon, k.Limit)
+}
+
+// Dir returns the store's root directory ("" for memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a copy of the cumulative statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// systemPath is the snapshot file for a key.
+func (s *Store) systemPath(key Key) string {
+	return filepath.Join(s.dir, "systems", key.Slug()+".eba")
+}
+
+// resultPath is the truth-table file for a formula over the system
+// with the given content digest.
+func (s *Store) resultPath(digest, formula string) string {
+	fsum := sha256.Sum256([]byte(formula))
+	return filepath.Join(s.dir, "results", digest[:16], hex.EncodeToString(fsum[:12])+".bits")
+}
+
+// System returns the enumerated system for the key, from memory, disk,
+// or a fresh enumeration (persisted for next time), in that order.
+// Concurrent calls for the same key share one load: exactly one
+// caller enumerates, the rest wait and report OriginShared.
+func (s *Store) System(key Key) (*system.System, Origin, error) {
+	if err := key.Validate(); err != nil {
+		return nil, OriginEnumerated, err
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.stats.SystemMemoryHits++
+		s.mu.Unlock()
+		mSysMem.Inc()
+		return e.sys, OriginMemory, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.stats.SharedLoads++
+		s.mu.Unlock()
+		mSysShared.Inc()
+		<-f.done
+		return f.sys, OriginShared, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	sys, digest, size, origin, err := s.load(key)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.admit(key, sys, digest, size, origin)
+	}
+	f.sys, f.origin, f.err = sys, origin, err
+	close(f.done)
+	s.mu.Unlock()
+	return sys, origin, err
+}
+
+// load misses memory: try the disk snapshot, then enumerate and
+// persist. Called without the lock held.
+func (s *Store) load(key Key) (*system.System, string, int, Origin, error) {
+	if s.dir != "" {
+		path := s.systemPath(key)
+		if data, err := os.ReadFile(path); err == nil {
+			start := time.Now()
+			gotKey, sys, derr := DecodeSystem(data)
+			switch {
+			case derr != nil:
+				// A bad snapshot (corruption, version skew) is not
+				// fatal: fall through to enumeration, which rewrites
+				// it. Surface the event in stats and telemetry.
+				s.noteDiskError()
+			case gotKey != key:
+				s.noteDiskError()
+			default:
+				mLoadDisk.Observe(time.Since(start).Seconds())
+				s.mu.Lock()
+				s.stats.SystemDiskHits++
+				s.mu.Unlock()
+				mSysDisk.Inc()
+				return sys, Digest(data), len(data), OriginDisk, nil
+			}
+		}
+	}
+	start := time.Now()
+	sys, err := s.enumerate(key)
+	if err != nil {
+		return nil, "", 0, OriginEnumerated, err
+	}
+	mLoadEnum.Observe(time.Since(start).Seconds())
+	s.mu.Lock()
+	s.stats.Enumerations++
+	s.mu.Unlock()
+	mSysEnum.Inc()
+
+	digest, size := "", 0
+	if s.dir != "" {
+		data, err := EncodeSystem(key, sys)
+		if err != nil {
+			return nil, "", 0, OriginEnumerated, err
+		}
+		digest, size = Digest(data), len(data)
+		if err := writeAtomic(s.systemPath(key), data); err != nil {
+			// Persistence failure degrades to memory-only for this
+			// system; the answer itself is still good.
+			s.noteDiskError()
+		}
+	}
+	return sys, digest, size, OriginEnumerated, nil
+}
+
+func (s *Store) noteDiskError() {
+	mDiskErrors.Inc()
+	s.mu.Lock()
+	s.stats.DiskErrors++
+	s.mu.Unlock()
+}
+
+// admit inserts a loaded system into the memory layer, evicting from
+// the LRU tail past maxMem. Caller holds the lock.
+func (s *Store) admit(key Key, sys *system.System, digest string, size int, origin Origin) {
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry{
+		key: key, sys: sys, digest: digest, size: size,
+		results: make(map[string]*knowledge.Bits),
+		loaded:  time.Now(), origin: origin,
+	}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	for s.lru.Len() > s.maxMem {
+		tail := s.lru.Back()
+		old := tail.Value.(*entry)
+		s.lru.Remove(tail)
+		delete(s.entries, old.key)
+		s.stats.Evictions++
+		mEvictions.Inc()
+	}
+	mMemEntries.Set(float64(s.lru.Len()))
+}
+
+// Result returns the truth table of formula over the key's system,
+// from the entry's memo, the disk layer, or compute, in that order.
+// compute runs at most once per (key, formula) at a time; concurrent
+// duplicates wait and share its answer. The returned table is shared
+// and must not be modified.
+func (s *Store) Result(key Key, formula string, compute func(*system.System) (*knowledge.Bits, error)) (*knowledge.Bits, Origin, error) {
+	sys, _, err := s.System(key)
+	if err != nil {
+		return nil, OriginEnumerated, err
+	}
+	rk := resultFlightKey{key: key, formula: formula}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if tbl, ok := e.results[formula]; ok {
+			s.stats.ResultMemoryHits++
+			s.mu.Unlock()
+			mResMem.Inc()
+			return tbl, OriginMemory, nil
+		}
+	}
+	if f, ok := s.resFlight[rk]; ok {
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, OriginShared, f.err
+		}
+		return f.tbl, OriginShared, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.resFlight[rk] = f
+	digest := ""
+	if e, ok := s.entries[key]; ok {
+		digest = e.digest
+	}
+	s.mu.Unlock()
+
+	tbl, origin, err := s.loadResult(sys, digest, formula, compute)
+
+	s.mu.Lock()
+	delete(s.resFlight, rk)
+	if err == nil {
+		if e, ok := s.entries[key]; ok {
+			e.results[formula] = tbl
+		}
+	}
+	f.sys, f.origin, f.err = nil, origin, err
+	f.tbl = tbl
+	close(f.done)
+	s.mu.Unlock()
+	return tbl, origin, err
+}
+
+// loadResult misses the memo: try the disk layer, then compute and
+// persist. Called without the lock held.
+func (s *Store) loadResult(sys *system.System, digest, formula string, compute func(*system.System) (*knowledge.Bits, error)) (*knowledge.Bits, Origin, error) {
+	persistable := s.dir != "" && digest != ""
+	if persistable {
+		if data, err := os.ReadFile(s.resultPath(digest, formula)); err == nil {
+			gotFormula, packed, derr := DecodeResult(data)
+			if derr == nil && gotFormula == formula {
+				var tbl knowledge.Bits
+				if err := tbl.UnmarshalBinary(packed); err == nil && tbl.Len() == sys.NumPoints() {
+					s.mu.Lock()
+					s.stats.ResultDiskHits++
+					s.mu.Unlock()
+					mResDisk.Inc()
+					return &tbl, OriginDisk, nil
+				}
+			}
+			s.noteDiskError()
+		}
+	}
+	tbl, err := compute(sys)
+	if err != nil {
+		return nil, OriginEnumerated, err
+	}
+	s.mu.Lock()
+	s.stats.ResultComputes++
+	s.mu.Unlock()
+	mResComputed.Inc()
+	if persistable {
+		packed, err := tbl.MarshalBinary()
+		if err == nil {
+			err = writeAtomic(s.resultPath(digest, formula), EncodeResult(formula, packed))
+		}
+		if err != nil {
+			s.noteDiskError()
+		}
+	}
+	return tbl, OriginEnumerated, nil
+}
+
+// SystemInfo is one inventory row for GET /v1/systems.
+type SystemInfo struct {
+	Key       Key    `json:"key"`
+	Mode      string `json:"mode"`
+	Slug      string `json:"slug"`
+	Digest    string `json:"digest,omitempty"`
+	Runs      int    `json:"runs"`
+	Points    int    `json:"points"`
+	Views     int    `json:"views"`
+	SizeBytes int    `json:"size_bytes,omitempty"`
+	Results   int    `json:"results"`
+	Origin    string `json:"origin"`
+	LoadedAt  string `json:"loaded_at"`
+}
+
+// Inventory lists the in-memory systems, most recently used first.
+func (s *Store) Inventory() []SystemInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SystemInfo, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, SystemInfo{
+			Key:       e.key,
+			Mode:      e.key.Mode.String(),
+			Slug:      e.key.Slug(),
+			Digest:    e.digest,
+			Runs:      e.sys.NumRuns(),
+			Points:    e.sys.NumPoints(),
+			Views:     e.sys.Interner.Size(),
+			SizeBytes: e.size,
+			Results:   len(e.results),
+			Origin:    e.origin.String(),
+			LoadedAt:  e.loaded.UTC().Format(time.RFC3339),
+		})
+	}
+	return out
+}
+
+// DiskSnapshots lists the snapshot files under the store directory,
+// sorted by name; empty for memory-only stores.
+func (s *Store) DiskSnapshots() []string {
+	if s.dir == "" {
+		return nil
+	}
+	matches, err := filepath.Glob(filepath.Join(s.dir, "systems", "*.eba"))
+	if err != nil {
+		return nil
+	}
+	for i, m := range matches {
+		matches[i] = filepath.Base(m)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// writeAtomic writes data via a temp file and rename, so a crashed or
+// concurrent writer never leaves a half-written snapshot at the final
+// path (the checksum would catch it anyway; this keeps it from being
+// seen at all).
+func writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

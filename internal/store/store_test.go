@@ -1,0 +1,279 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/system"
+)
+
+// countingStore wraps a store's enumerate hook with an invocation
+// counter, the observable singleflight and cache tests assert on.
+func countingStore(t *testing.T, dir string, maxMem int) (*Store, *atomic.Int64) {
+	t.Helper()
+	s, err := Open(dir, maxMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	inner := s.enumerate
+	s.enumerate = func(k Key) (*system.System, error) {
+		count.Add(1)
+		return inner(k)
+	}
+	return s, &count
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	s, count := countingStore(t, t.TempDir(), 4)
+	key := Key{N: 3, T: 1, Mode: failures.Omission, Horizon: 2, Limit: 500}
+
+	// Gate the enumeration open until every requester has launched, so
+	// the N concurrent gets genuinely overlap one in-flight load
+	// instead of racing past a completed one.
+	release := make(chan struct{})
+	inner := s.enumerate
+	s.enumerate = func(k Key) (*system.System, error) {
+		<-release
+		return inner(k) // inner already counts
+	}
+
+	const goroutines = 16
+	var launched, wg sync.WaitGroup
+	launched.Add(goroutines)
+	sysCh := make(chan *system.System, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			launched.Done()
+			sys, _, err := s.System(key)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sysCh <- sys
+		}()
+	}
+	launched.Wait()
+	time.Sleep(50 * time.Millisecond) // let the stragglers reach the store
+	close(release)
+	wg.Wait()
+	close(sysCh)
+	if got := count.Load(); got != 1 {
+		t.Fatalf("%d concurrent gets ran %d enumerations, want exactly 1", goroutines, got)
+	}
+	var first *system.System
+	for sys := range sysCh {
+		if first == nil {
+			first = sys
+		} else if sys != first {
+			t.Fatal("concurrent gets returned distinct system instances")
+		}
+	}
+	st := s.Stats()
+	if st.Enumerations != 1 || st.SharedLoads+st.SystemMemoryHits != goroutines-1 || st.SharedLoads == 0 {
+		t.Fatalf("stats = %+v, want 1 enumeration and %d requests answered by it", st, goroutines-1)
+	}
+}
+
+func TestWarmLoadFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+
+	cold, coldCount := countingStore(t, dir, 4)
+	sys1, origin, err := cold.System(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginEnumerated || coldCount.Load() != 1 {
+		t.Fatalf("cold load: origin %v, %d enumerations", origin, coldCount.Load())
+	}
+	// Second call in the same store: memory hit.
+	if _, origin, _ = cold.System(key); origin != OriginMemory {
+		t.Fatalf("second load: origin %v, want memory", origin)
+	}
+
+	// A fresh store over the same directory loads the snapshot, never
+	// enumerating.
+	warm, warmCount := countingStore(t, dir, 4)
+	sys2, origin, err := warm.System(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginDisk || warmCount.Load() != 0 {
+		t.Fatalf("warm load: origin %v, %d enumerations, want disk hit and 0", origin, warmCount.Load())
+	}
+	if sys2.NumPoints() != sys1.NumPoints() || sys2.Interner.Size() != sys1.Interner.Size() {
+		t.Fatal("warm-loaded system differs from the enumerated one")
+	}
+	if snaps := warm.DiskSnapshots(); len(snaps) != 1 || snaps[0] != key.Slug()+".eba" {
+		t.Fatalf("DiskSnapshots = %v", snaps)
+	}
+}
+
+func TestCorruptSnapshotFallsBackToEnumeration(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	s1, _ := countingStore(t, dir, 4)
+	if _, _, err := s1.System(key); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "systems", key.Slug()+".eba")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, count := countingStore(t, dir, 4)
+	_, origin, err := s2.System(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginEnumerated || count.Load() != 1 {
+		t.Fatalf("corrupt snapshot: origin %v, %d enumerations, want re-enumeration", origin, count.Load())
+	}
+	if s2.Stats().DiskErrors == 0 {
+		t.Fatal("disk error not recorded")
+	}
+	// The snapshot was rewritten: a third store warm-loads again.
+	s3, count3 := countingStore(t, dir, 4)
+	if _, origin, err := s3.System(key); err != nil || origin != OriginDisk || count3.Load() != 0 {
+		t.Fatalf("rewritten snapshot not loadable: origin %v err %v", origin, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, count := countingStore(t, "", 2)
+	keys := []Key{
+		{N: 3, T: 1, Mode: failures.Crash, Horizon: 2},
+		{N: 3, T: 1, Mode: failures.Crash, Horizon: 3},
+		{N: 3, T: 1, Mode: failures.Omission, Horizon: 2, Limit: 500},
+	}
+	for _, k := range keys {
+		if _, _, err := s.System(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Inventory()); got != 2 {
+		t.Fatalf("inventory has %d entries, want 2 (maxMem)", got)
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// keys[0] was evicted; memory-only store must re-enumerate it.
+	before := count.Load()
+	if _, origin, err := s.System(keys[0]); err != nil || origin != OriginEnumerated {
+		t.Fatalf("evicted key reload: origin %v err %v", origin, err)
+	}
+	if count.Load() != before+1 {
+		t.Fatal("evicted key did not re-enumerate")
+	}
+	// keys[2] is still resident.
+	if _, origin, _ := s.System(keys[2]); origin != OriginMemory {
+		t.Fatalf("resident key reload: origin %v, want memory", origin)
+	}
+}
+
+func TestResultMemoAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	compute := func(sys *system.System) (*knowledge.Bits, error) {
+		e := knowledge.NewEvaluator(sys)
+		f, err := knowledge.Parse("Cbox E0 -> C E0")
+		if err != nil {
+			return nil, err
+		}
+		return e.Eval(f), nil
+	}
+
+	s1, _ := countingStore(t, dir, 4)
+	tbl, origin, err := s1.Result(key, "Cbox E0 -> C E0", compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginEnumerated || !tbl.All() {
+		t.Fatalf("first result: origin %v, valid %v (the formula is Theorem 3.3, must be valid)", origin, tbl.All())
+	}
+	if _, origin, _ = s1.Result(key, "Cbox E0 -> C E0", compute); origin != OriginMemory {
+		t.Fatalf("memoized result: origin %v, want memory", origin)
+	}
+
+	// A fresh store finds the truth table on disk — no recompute.
+	s2, _ := countingStore(t, dir, 4)
+	tbl2, origin, err := s2.Result(key, "Cbox E0 -> C E0", compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginDisk {
+		t.Fatalf("persisted result: origin %v, want disk", origin)
+	}
+	if !tbl2.Equal(tbl) {
+		t.Fatal("persisted truth table differs from computed one")
+	}
+	if st := s2.Stats(); st.ResultDiskHits != 1 || st.ResultComputes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentResultSingleflight(t *testing.T) {
+	s, _ := countingStore(t, "", 4)
+	key := testKey()
+	var computes atomic.Int64
+	compute := func(sys *system.System) (*knowledge.Bits, error) {
+		computes.Add(1)
+		e := knowledge.NewEvaluator(sys)
+		f, err := knowledge.Parse("C E0 -> Cbox E0")
+		if err != nil {
+			return nil, err
+		}
+		return e.Eval(f), nil
+	}
+	const goroutines = 12
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tbl, _, err := s.Result(key, "C E0 -> Cbox E0", compute)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if tbl.All() {
+				t.Error("C E0 -> Cbox E0 must not be valid (Section 3.3's converse)")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d concurrent result gets ran %d computes, want exactly 1", goroutines, got)
+	}
+}
+
+func TestKeyValidate(t *testing.T) {
+	bad := []Key{
+		{N: 1, T: 0, Mode: failures.Crash, Horizon: 2},
+		{N: 3, T: 1, Mode: 0, Horizon: 2},
+		{N: 3, T: 1, Mode: failures.Crash, Horizon: 0},
+		{N: 3, T: 1, Mode: failures.Crash, Horizon: 2, Limit: -1},
+	}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid key", k)
+		}
+		if _, _, err := (&Store{}).System(k); err == nil {
+			t.Errorf("System(%+v) accepted an invalid key", k)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package system
+
+import (
+	"fmt"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// Reassemble rebuilds a System from previously enumerated parts — an
+// interner plus runs whose view tables reference it — without
+// re-running the enumeration. It is the restore path of the snapshot
+// store: FromPatterns pays one hash-cons per (run, time, processor)
+// occurrence, while Reassemble only re-derives the byView index, which
+// is a dense walk over already-interned IDs.
+//
+// The runs are validated against the parameters (sizes, horizon,
+// pattern mode and fault bound, view ownership and times) so a decoded
+// snapshot can't produce a structurally inconsistent system; Run.Index
+// is renumbered to the slice position.
+func Reassemble(params types.Params, mode failures.Mode, horizon int, in *views.Interner, runs []*Run) (*System, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("system: horizon %d < 1", horizon)
+	}
+	if in == nil || in.N() != params.N {
+		return nil, fmt.Errorf("system: interner missing or sized for wrong n")
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("system: no runs")
+	}
+	sys := &System{
+		Params:   params,
+		Mode:     mode,
+		Horizon:  horizon,
+		Interner: in,
+		Runs:     runs,
+		byView:   make(map[views.ID][]Point),
+	}
+	for r, run := range runs {
+		if run.Pattern == nil {
+			return nil, fmt.Errorf("system: run %d has no pattern", r)
+		}
+		if run.Pattern.Mode() != mode || run.Pattern.N() != params.N || run.Pattern.Horizon() != horizon {
+			return nil, fmt.Errorf("system: run %d pattern is %v/n%d/h%d, want %v/n%d/h%d",
+				r, run.Pattern.Mode(), run.Pattern.N(), run.Pattern.Horizon(), mode, params.N, horizon)
+		}
+		if run.Pattern.Faulty().Len() > params.T {
+			return nil, fmt.Errorf("system: run %d has %d faulty, t=%d", r, run.Pattern.Faulty().Len(), params.T)
+		}
+		if run.Config.N() != params.N {
+			return nil, fmt.Errorf("system: run %d config for n=%d, want %d", r, run.Config.N(), params.N)
+		}
+		if len(run.Views) != horizon+1 {
+			return nil, fmt.Errorf("system: run %d has %d view rows, want %d", r, len(run.Views), horizon+1)
+		}
+		run.Index = r
+		for m := 0; m <= horizon; m++ {
+			if len(run.Views[m]) != params.N {
+				return nil, fmt.Errorf("system: run %d time %d has %d views, want %d", r, m, len(run.Views[m]), params.N)
+			}
+			pt := Point{Run: r, Time: types.Round(m)}
+			for p := 0; p < params.N; p++ {
+				id := run.Views[m][p]
+				if id < 0 || int(id) >= in.Size() {
+					return nil, fmt.Errorf("system: run %d time %d: view %d not in interner", r, m, id)
+				}
+				if in.Proc(id) != types.ProcID(p) || in.Time(id) != types.Round(m) {
+					return nil, fmt.Errorf("system: run %d time %d: view %d is (p%d,t%d), want (p%d,t%d)",
+						r, m, id, in.Proc(id), in.Time(id), p, m)
+				}
+				sys.byView[id] = append(sys.byView[id], pt)
+			}
+		}
+	}
+	return sys, nil
+}

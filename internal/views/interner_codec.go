@@ -1,0 +1,146 @@
+package views
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// MarshalInterner serializes every view of the interner, in ID order,
+// into a deterministic binary form. Children always precede parents
+// (Extend requires its children to exist), so the node list is already
+// topologically sorted and IDs survive a round-trip unchanged:
+// UnmarshalInterner assigns the same ID to the same view. This is the
+// bulk payload of the snapshot store — a persisted system carries its
+// interner, and the runs' view tables reference these IDs directly.
+func MarshalInterner(in *Interner) []byte {
+	buf := make([]byte, 0, 16+8*len(in.nodes))
+	buf = binary.AppendUvarint(buf, uint64(in.n))
+	buf = binary.AppendUvarint(buf, uint64(len(in.nodes)))
+	for i := range in.nodes {
+		nd := &in.nodes[i]
+		buf = binary.AppendUvarint(buf, uint64(nd.proc))
+		buf = binary.AppendUvarint(buf, uint64(nd.time))
+		if nd.from == nil {
+			buf = append(buf, byte(nd.initial))
+			continue
+		}
+		for _, ch := range nd.from {
+			if ch == NoView {
+				buf = binary.AppendUvarint(buf, 0)
+			} else {
+				buf = binary.AppendUvarint(buf, uint64(ch)+1)
+			}
+		}
+	}
+	return buf
+}
+
+// UnmarshalInterner reconstructs an interner serialized by
+// MarshalInterner, rebuilding both the node table and the hash-cons
+// index (so the result is indistinguishable from the original: view
+// IDs are identical, and further interning dedups against the restored
+// views). Unlike Unmarshal, which re-interns one view tree through the
+// public Leaf/Extend path, this decoder appends nodes directly —
+// restoring a snapshot must not pay the per-occurrence hash-cons cost
+// that made enumeration expensive in the first place.
+func UnmarshalInterner(data []byte) (*Interner, error) {
+	r := reader{buf: data}
+	nU, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n := int(nU)
+	if n < 2 || n > 64 {
+		return nil, fmt.Errorf("views: interner n=%d out of range", n)
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	const maxNodes = 1 << 26
+	if count > maxNodes {
+		return nil, fmt.Errorf("views: interner claims %d nodes (max %d)", count, maxNodes)
+	}
+	in := NewInterner(n)
+	in.nodes = make([]node, 0, count)
+	in.knownVals = make([][]types.Value, count)
+	in.faultEv = make([]types.ProcSet, count)
+	in.faultEvOK = make([]bool, count)
+	in.acceptSets = make([][]types.ProcSet, count)
+	in.acceptOK = make([]bool, count)
+	in.believes0s = make([]int8, count)
+	// Reusable key buffer; the index keys must match intern()'s format
+	// byte for byte so later Leaf/Extend calls dedup correctly.
+	key := make([]byte, 0, 64)
+	for k := uint64(0); k < count; k++ {
+		procU, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if procU >= uint64(n) {
+			return nil, fmt.Errorf("views: node %d: processor %d out of range", k, procU)
+		}
+		timeU, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nd := node{proc: types.ProcID(procU), time: types.Round(timeU)}
+		key = key[:0]
+		if timeU == 0 {
+			b, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			nd.initial = types.Value(int8(b))
+			if !nd.initial.Valid() {
+				return nil, fmt.Errorf("views: node %d: invalid initial value %d", k, b)
+			}
+			key = append(key, 'L')
+			key = strconv.AppendUint(key, procU, 10)
+			key = append(key, ':')
+			key = strconv.AppendInt(key, int64(nd.initial), 10)
+		} else {
+			nd.from = make([]ID, n)
+			key = append(key, 'N')
+			key = strconv.AppendUint(key, procU, 10)
+			key = append(key, ':')
+			for j := 0; j < n; j++ {
+				ref, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if ref == 0 {
+					nd.from[j] = NoView
+				} else {
+					if ref > k {
+						return nil, fmt.Errorf("views: node %d: forward reference %d", k, ref-1)
+					}
+					ch := &in.nodes[ref-1]
+					if ch.proc != types.ProcID(j) {
+						return nil, fmt.Errorf("views: node %d: child %d owned by %d, want %d", k, ref-1, ch.proc, j)
+					}
+					if ch.time != nd.time-1 {
+						return nil, fmt.Errorf("views: node %d: child at time %d under node at time %d", k, ch.time, nd.time)
+					}
+					nd.from[j] = ID(ref - 1)
+				}
+				key = strconv.AppendInt(key, int64(nd.from[j]), 10)
+				key = append(key, ',')
+			}
+			own := nd.from[nd.proc]
+			if own == NoView {
+				return nil, fmt.Errorf("views: node %d: lacks own previous view", k)
+			}
+			nd.initial = in.nodes[own].initial
+		}
+		if _, dup := in.index[string(key)]; dup {
+			return nil, fmt.Errorf("views: node %d: duplicate view", k)
+		}
+		in.index[string(key)] = ID(k)
+		in.nodes = append(in.nodes, nd)
+	}
+	return in, nil
+}

@@ -24,6 +24,7 @@ package views
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/eventual-agreement/eba/internal/types"
@@ -68,14 +69,23 @@ type node struct {
 }
 
 // Interner hash-conses views for an n-processor system and memoizes
-// the syntactic analyses. It is not safe for concurrent use; each
-// enumeration or simulation owns its Interner (or guards it).
+// the syntactic analyses. Interning (Leaf, Extend, Unmarshal) is not
+// safe for concurrent use; each enumeration or simulation owns its
+// Interner (or guards it). Once interning is complete the structure is
+// read-mostly: the memoized syntactic analyses (KnownValues, Knows,
+// FaultEvidence, AcceptsZeroAt, BelievesExistsZeroStar, ...) take an
+// internal mutex around their lazily-filled tables, so any number of
+// goroutines may query a fully-built interner concurrently — the
+// contract the epistemic query service relies on.
 type Interner struct {
 	n     int
 	nodes []node
 	index map[string]ID
 
-	// Lazily grown memo tables, indexed by ID.
+	// memoMu guards the lazily grown memo tables below (indexed by
+	// ID). It deliberately does not guard nodes/index: interning and
+	// concurrent analysis must not overlap.
+	memoMu     sync.Mutex
 	knownVals  [][]types.Value
 	faultEv    []types.ProcSet
 	faultEvOK  []bool
@@ -220,6 +230,14 @@ func (in *Interner) HeardFrom(id ID) types.ProcSet {
 // it is recorded anywhere in the view, else Unset. The result is owned
 // by the interner; callers must not modify it.
 func (in *Interner) KnownValues(id ID) []types.Value {
+	in.memoMu.Lock()
+	defer in.memoMu.Unlock()
+	return in.knownValues(id)
+}
+
+// knownValues is the recursive core of KnownValues; memoMu must be
+// held.
+func (in *Interner) knownValues(id ID) []types.Value {
 	if kv := in.knownVals[id]; kv != nil {
 		return kv
 	}
@@ -234,7 +252,7 @@ func (in *Interner) KnownValues(id ID) []types.Value {
 		if ch == NoView {
 			continue
 		}
-		for q, v := range in.KnownValues(ch) {
+		for q, v := range in.knownValues(ch) {
 			if v != types.Unset {
 				kv[q] = v
 			}
@@ -277,6 +295,14 @@ func (in *Interner) KnowsAll(id ID, v types.Value) bool {
 // nonfaulty is consistent with the view. (The equivalence is checked
 // against the semantic evaluator in the knowledge package's tests.)
 func (in *Interner) FaultEvidence(id ID) types.ProcSet {
+	in.memoMu.Lock()
+	defer in.memoMu.Unlock()
+	return in.faultEvidence(id)
+}
+
+// faultEvidence is the recursive core of FaultEvidence; memoMu must be
+// held.
+func (in *Interner) faultEvidence(id ID) types.ProcSet {
 	if in.faultEvOK[id] {
 		return in.faultEv[id]
 	}
@@ -289,7 +315,7 @@ func (in *Interner) FaultEvidence(id ID) types.ProcSet {
 				s = s.Add(types.ProcID(j))
 				continue
 			}
-			s = s.Union(in.FaultEvidence(ch))
+			s = s.Union(in.faultEvidence(ch))
 		}
 	}
 	in.faultEvOK[id] = true
@@ -308,6 +334,7 @@ func (in *Interner) FaultEvidence(id ID) types.ProcSet {
 // message from i_k at round k"); acceptance at time u corresponds to
 // being the (u+1)-st element, the alignment used in the proof of
 // Proposition 6.4.
+// memoMu must be held.
 func (in *Interner) acceptances(id ID) []types.ProcSet {
 	if in.acceptOK[id] {
 		return in.acceptSets[id]
@@ -318,7 +345,7 @@ func (in *Interner) acceptances(id ID) []types.ProcSet {
 		if nd.initial == types.Zero {
 			out = append(out, types.Singleton(nd.proc))
 		}
-	} else if ev := in.FaultEvidence(id); !ev.Contains(nd.proc) {
+	} else if ev := in.faultEvidence(id); !ev.Contains(nd.proc) {
 		// If the owner knows itself faulty, B^N is vacuous, so the
 		// chain condition ¬B^N_p(j ∉ 𝒩) fails for every sender and no
 		// hop extends here. (A nonfaulty processor never reaches this
@@ -353,7 +380,11 @@ func (in *Interner) acceptances(id ID) []types.ProcSet {
 
 // AcceptsZeroAt reports whether the view's owner accepts 0 at exactly
 // the view's time.
-func (in *Interner) AcceptsZeroAt(id ID) bool { return len(in.acceptances(id)) > 0 }
+func (in *Interner) AcceptsZeroAt(id ID) bool {
+	in.memoMu.Lock()
+	defer in.memoMu.Unlock()
+	return len(in.acceptances(id)) > 0
+}
 
 // BelievesExistsZeroStar reports whether the view's owner has accepted
 // 0 at or before the view's time. This is the syntactic test for
@@ -363,13 +394,21 @@ func (in *Interner) AcceptsZeroAt(id ID) bool { return len(in.acceptances(id)) >
 // endpoint (relayed stale chains end in processors the owner cannot
 // know to be nonfaulty).
 func (in *Interner) BelievesExistsZeroStar(id ID) bool {
+	in.memoMu.Lock()
+	defer in.memoMu.Unlock()
+	return in.believesExistsZeroStar(id)
+}
+
+// believesExistsZeroStar is the recursive core of
+// BelievesExistsZeroStar; memoMu must be held.
+func (in *Interner) believesExistsZeroStar(id ID) bool {
 	if m := in.believes0s[id]; m != 0 {
 		return m == 2
 	}
 	res := len(in.acceptances(id)) > 0
 	if !res {
 		if prev := in.Prev(id); prev != NoView {
-			res = in.BelievesExistsZeroStar(prev)
+			res = in.believesExistsZeroStar(prev)
 		}
 	}
 	if res {

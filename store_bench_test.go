@@ -1,0 +1,169 @@
+package eba_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	eba "github.com/eventual-agreement/eba"
+	"github.com/eventual-agreement/eba/internal/service"
+)
+
+// storeBenchKey is the acceptance workload: the full n=4 t=2 omission
+// adversary at horizon 2 (24,833 patterns, ~400k runs, ~1.2M points —
+// the largest system the repo enumerates exhaustively).
+func storeBenchKey() eba.StoreKey {
+	return eba.StoreKey{N: 4, T: 2, Mode: eba.Omission, Horizon: 2}
+}
+
+// BenchmarkStoreColdEnumerate measures building the bench system from
+// scratch (no disk layer).
+func BenchmarkStoreColdEnumerate(b *testing.B) {
+	key := storeBenchKey()
+	for i := 0; i < b.N; i++ {
+		st, err := eba.OpenStore("", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := st.System(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreWarmLoad measures restoring the same system from its
+// snapshot.
+func BenchmarkStoreWarmLoad(b *testing.B) {
+	dir := b.TempDir()
+	key := storeBenchKey()
+	st, err := eba.OpenStore(dir, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := st.System(key); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm, err := eba.OpenStore(dir, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, origin, err := warm.System(key); err != nil || origin != 1 /* disk */ {
+			b.Fatalf("origin %v err %v", origin, err)
+		}
+	}
+}
+
+// TestStoreWarmSpeedup is the PR's acceptance measurement: a
+// warm-store load of the n=4 t=2 omission system must beat cold
+// enumeration by a wide margin. The DESIGN.md target is 5×; the hard
+// floor here is 2.5× so tier-1 stays robust on noisy shared runners,
+// with the measured ratio always reported (and written to
+// BENCH_STORE_OUT for the BENCH_store.json artifact, together with a
+// service throughput measurement).
+func TestStoreWarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; skipped in -short")
+	}
+	dir := t.TempDir()
+	key := storeBenchKey()
+
+	cold, err := eba.OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sys, origin, err := cold.System(key)
+	coldT := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin.String() != "enumerated" {
+		t.Fatalf("cold origin %v", origin)
+	}
+
+	const reps = 3
+	warmT := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		warm, err := eba.OpenStore(dir, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		wsys, origin, err := warm.System(key)
+		d := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if origin.String() != "disk" {
+			t.Fatalf("warm origin %v", origin)
+		}
+		if wsys.NumPoints() != sys.NumPoints() {
+			t.Fatalf("warm system has %d points, want %d", wsys.NumPoints(), sys.NumPoints())
+		}
+		if d < warmT {
+			warmT = d
+		}
+	}
+	ratio := float64(coldT) / float64(warmT)
+	t.Logf("%s: cold enumerate %v, warm load %v (min of %d), speedup %.1f× (target 5×)",
+		key, coldT, warmT, reps, ratio)
+
+	qps := measureServiceQPS(t)
+
+	if out := os.Getenv("BENCH_STORE_OUT"); out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"workload":          key.String(),
+			"runs":              sys.NumRuns(),
+			"points":            sys.NumPoints(),
+			"cold_enumerate_ns": coldT.Nanoseconds(),
+			"warm_load_ns":      warmT.Nanoseconds(),
+			"warm_speedup":      ratio,
+			"target_speedup":    5.0,
+			"warm_reps":         reps,
+			"timing":            "warm = min over reps",
+			"service":           qps,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			t.Fatalf("write %s: %v", out, err)
+		}
+	}
+
+	if ratio < 2.5 {
+		t.Errorf("warm-store speedup %.1f× below the 2.5× floor (target 5×)", ratio)
+	}
+}
+
+// measureServiceQPS runs the load generator against an in-process
+// daemon over the small default system, reporting cached-query
+// throughput.
+func measureServiceQPS(t *testing.T) *service.LoadReport {
+	st, err := eba.OpenStore(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(eba.NewQueryServer(eba.NewQueryEngine(st, 0)).Handler())
+	defer ts.Close()
+	reqs := []service.Request{
+		{Formula: "Cbox E0 -> C E0"},
+		{Formula: "C E0 -> Cbox E0"},
+		{Formula: "K0 E0 -> B0 E0"},
+	}
+	rep, err := service.RunLoad(context.Background(), ts.URL, reqs, 8, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run had %d errors (first: %s)", rep.Errors, rep.FirstErr)
+	}
+	t.Logf("service: %d queries, %.0f qps, p50 %.2fms p95 %.2fms", rep.Queries, rep.QPS, rep.P50MS, rep.P95MS)
+	return rep
+}
