@@ -34,6 +34,7 @@ func run() error {
 		modeName = flag.String("mode", "crash", "crash | omission")
 		h        = flag.Int("h", 0, "horizon (default t+2)")
 		limit    = flag.Int("limit", 2_000_000, "omission pattern limit (0 = unlimited)")
+		parallel = flag.Int("parallel", 0, "worker bound for enumeration and evaluation (0 = all cores, 1 = sequential)")
 		tel      = telemetry.BindFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -57,7 +58,8 @@ func run() error {
 
 	params := eba.Params{N: *n, T: *t}
 	fmt.Printf("enumerating %s system n=%d t=%d h=%d ...\n", mode, *n, *t, *h)
-	sys, err := eba.NewSystem(params, mode, *h, *limit)
+	eba.SetParallelism(*parallel)
+	sys, err := eba.NewSystemParallel(params, mode, *h, *limit, *parallel)
 	if err != nil {
 		return err
 	}

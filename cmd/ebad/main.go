@@ -56,6 +56,7 @@ func run() error {
 		maxMem   = flag.Int("maxmem", store.DefaultMaxMem, "max systems held in memory")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-query timeout (0 = none)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace for in-flight queries")
+		parallel = flag.Int("parallel", 0, "worker bound for cold enumeration and evaluation (0 = all cores, 1 = sequential)")
 
 		load    = flag.String("load", "", "load-generator mode: base URL of a running daemon")
 		queries = flag.Int("queries", 100, "load mode: total queries to issue")
@@ -84,7 +85,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv := service.NewServer(service.NewEngine(st, *timeout))
+	eng := service.NewEngine(st, *timeout)
+	eng.SetParallelism(*parallel)
+	srv := service.NewServer(eng)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

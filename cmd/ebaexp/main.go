@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		ids     = flag.String("e", "", "comma-separated experiment IDs (default: all)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonOut = flag.Bool("json", false, "emit results as JSON instead of tables")
-		tel     = telemetry.BindFlags(flag.CommandLine)
+		ids      = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
+		parallel = flag.Int("parallel", 0, "worker bound for system builds and evaluation (0 = all cores, 1 = sequential)")
+		tel      = telemetry.BindFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := tel.Start(); err != nil {
@@ -33,6 +34,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer tel.Close()
+	exp.SetParallelism(*parallel)
 
 	if *list {
 		for _, e := range exp.All() {

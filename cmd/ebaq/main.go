@@ -46,6 +46,7 @@ func run() error {
 		limit    = flag.Int("limit", 2_000_000, "omission pattern limit")
 		jsonOut  = flag.Bool("json", false, "emit the query result as JSON")
 		cachedir = flag.String("cachedir", "", "snapshot store directory (empty = no persistence)")
+		parallel = flag.Int("parallel", 0, "worker bound for cold enumeration and evaluation (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 	if *src == "" {
@@ -57,6 +58,7 @@ func run() error {
 		return err
 	}
 	eng := service.NewEngine(st, 0)
+	eng.SetParallelism(*parallel)
 	resp, err := eng.Execute(context.Background(), service.Request{
 		Formula: *src,
 		N:       *n,

@@ -55,6 +55,7 @@ func run() error {
 		chaosSpec = flag.String("chaos", "", `run on the resilient TCP runtime with seeded fault injection: "auto" or a mechanism list, e.g. "drop,delay,kill"`)
 		seed      = flag.Int64("seed", 1, "chaos plan seed (with -chaos)")
 		deadline  = flag.Duration("deadline", 0, "per-round receive deadline (with -chaos; 0 = default)")
+		parallel  = flag.Int("parallel", 0, "worker bound for the knowledge audit (0 = all cores, 1 = sequential)")
 		tel       = telemetry.BindFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -62,6 +63,7 @@ func run() error {
 		return err
 	}
 	defer tel.Close()
+	eba.SetParallelism(*parallel)
 	if *verbose && *live {
 		return fmt.Errorf("-verbose requires the deterministic engine (drop -live)")
 	}

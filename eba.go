@@ -335,14 +335,34 @@ func NewSystem(params Params, mode Mode, horizon, limit int) (*System, error) {
 	return system.Enumerate(params, mode, horizon, limit)
 }
 
+// NewSystemParallel is NewSystem with run generation sharded across a
+// worker pool (workers <= 0 selects all cores). The result — run
+// order, view IDs, snapshot digest — is identical to NewSystem's.
+func NewSystemParallel(params Params, mode Mode, horizon, limit, workers int) (*System, error) {
+	return system.EnumerateParallel(params, mode, horizon, limit, workers)
+}
+
 // NewSystemFromPatterns enumerates the system over an explicit
 // adversary class.
 func NewSystemFromPatterns(params Params, mode Mode, horizon int, pats []*Pattern) (*System, error) {
 	return system.FromPatterns(params, mode, horizon, pats)
 }
 
+// NewSystemFromPatternsParallel is NewSystemFromPatterns over a worker
+// pool, with the same structural-identity guarantee as
+// NewSystemParallel.
+func NewSystemFromPatternsParallel(params Params, mode Mode, horizon int, pats []*Pattern, workers int) (*System, error) {
+	return system.FromPatternsParallel(params, mode, horizon, pats, workers)
+}
+
 // NewEvaluator creates a model checker for the system.
 func NewEvaluator(sys *System) *Evaluator { return knowledge.NewEvaluator(sys) }
+
+// SetParallelism sets the process-wide default worker bound inherited
+// by evaluators created after the call (w <= 0 restores all-cores,
+// w == 1 forces sequential evaluation). Truth tables are bit-identical
+// at every setting.
+func SetParallelism(w int) { knowledge.SetDefaultParallelism(w) }
 
 // Formula constructors (see the knowledge package for semantics).
 

@@ -49,8 +49,13 @@ func EnumCrash(n, t, h int) ([]*Pattern, error) {
 // h: each faulty processor independently omits an arbitrary subset of
 // its required messages in each round. The count grows as
 // (2^(n-1))^h per faulty processor; limit > 0 aborts with an error if
-// the enumeration would exceed limit patterns (0 means no limit).
+// the enumeration would exceed limit patterns, limit == 0 means no
+// limit, and limit < 0 is rejected outright (a negative bound is
+// always a caller bug, not a request for an unbounded enumeration).
 func EnumOmission(n, t, h int, limit int) ([]*Pattern, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("failures: negative pattern limit %d (0 means no limit)", limit)
+	}
 	if err := (types.Params{N: n, T: t}).Validate(); err != nil {
 		return nil, err
 	}

@@ -358,3 +358,30 @@ func TestDeliversReceiversQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEnumOmissionLimitSemantics pins the limit contract: 0 means no
+// limit, a positive limit is an inclusive bound on the pattern count,
+// and a negative limit is rejected outright rather than treated as
+// unlimited.
+func TestEnumOmissionLimitSemantics(t *testing.T) {
+	ps, err := EnumOmission(3, 1, 2, 0)
+	if err != nil {
+		t.Fatalf("limit 0 (no limit): %v", err)
+	}
+	if len(ps) != 49 {
+		t.Fatalf("got %d patterns, want 49", len(ps))
+	}
+	if _, err := EnumOmission(3, 1, 2, 49); err != nil {
+		t.Fatalf("limit == count must succeed: %v", err)
+	}
+	if _, err := EnumOmission(3, 1, 2, 48); err == nil {
+		t.Fatal("limit == count-1 accepted")
+	}
+	_, err = EnumOmission(3, 1, 2, -1)
+	if err == nil {
+		t.Fatal("negative limit accepted")
+	}
+	if !strings.Contains(err.Error(), "negative pattern limit") {
+		t.Fatalf("negative limit error %q does not name the cause", err)
+	}
+}

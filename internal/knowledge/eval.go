@@ -1,6 +1,8 @@
 package knowledge
 
 import (
+	"sync"
+
 	"github.com/eventual-agreement/eba/internal/system"
 	"github.com/eventual-agreement/eba/internal/telemetry"
 	"github.com/eventual-agreement/eba/internal/types"
@@ -90,10 +92,16 @@ func observeComponentSizes(uf *unionFind, h *telemetry.Histogram) {
 
 // Evaluator computes truth tables of formulas over one enumerated
 // system, memoizing by formula node identity and caching per-set
-// reachability structures. It is not safe for concurrent use.
+// reachability structures. It is not safe for concurrent use from
+// multiple goroutines, but internally shards its heavy stages (atom
+// scans, view-class conjunctions, reachability scans, per-run
+// modalities) across a worker pool bounded by SetParallelism; the
+// resulting tables are bit-identical at every parallelism level.
 type Evaluator struct {
 	sys  *system.System
 	memo map[Formula]*Bits
+	// par bounds the internal worker pool (SetParallelism).
+	par int
 	// depth tracks Eval recursion so only the outermost call opens a
 	// trace span.
 	depth int
@@ -106,15 +114,18 @@ type Evaluator struct {
 	runComp map[NonrigidSet]*unionFind
 }
 
-// NewEvaluator creates an evaluator for the system.
+// NewEvaluator creates an evaluator for the system, with the internal
+// worker pool defaulting to runtime.GOMAXPROCS(0).
 func NewEvaluator(sys *system.System) *Evaluator {
-	return &Evaluator{
+	e := &Evaluator{
 		sys:       sys,
 		memo:      make(map[Formula]*Bits),
 		members:   make(map[NonrigidSet][]types.ProcSet),
 		pointComp: make(map[NonrigidSet]*unionFind),
 		runComp:   make(map[NonrigidSet]*unionFind),
 	}
+	e.SetParallelism(0)
+	return e
 }
 
 // System returns the evaluator's system.
@@ -163,9 +174,12 @@ func (e *Evaluator) Eval(f Formula) *Bits {
 		tbl.Fill(g.v)
 	case *atomF:
 		tbl = NewBits(e.sys.NumPoints())
-		e.sys.ForEachPoint(func(pt system.Point) {
-			if g.pred(e.sys, pt) {
-				tbl.Set(e.sys.PointIndex(pt), true)
+		atom := tbl
+		e.parallelBits(e.sys.NumPoints(), func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				if g.pred(e.sys, e.sys.PointAt(idx)) {
+					atom.Set(idx, true)
+				}
 			}
 		})
 	case *notF:
@@ -217,8 +231,10 @@ func (e *Evaluator) membersTable(s NonrigidSet) []types.ProcSet {
 		return tbl
 	}
 	tbl := make([]types.ProcSet, e.sys.NumPoints())
-	e.sys.ForEachPoint(func(pt system.Point) {
-		tbl[e.sys.PointIndex(pt)] = s.Members(e.sys, pt)
+	e.parallelItems(len(tbl), parMinWork, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			tbl[idx] = s.Members(e.sys, e.sys.PointAt(idx))
+		}
 	})
 	e.members[s] = tbl
 	return tbl
@@ -228,20 +244,30 @@ func (e *Evaluator) membersTable(s NonrigidSet) []types.ProcSet {
 // conjunction of f over the points where i has the same view — for B,
 // restricted to points where i ∈ S.
 func (e *Evaluator) evalK(i types.ProcID, ft *Bits, s NonrigidSet) *Bits {
-	out := NewBits(e.sys.NumPoints())
+	np := e.sys.NumPoints()
+	out := NewBits(np)
 	var smem []types.ProcSet
 	if s != nil {
 		smem = e.membersTable(s)
 	}
-	// Truth of K_i f is constant on each view class; compute once per
-	// class.
-	classVal := make(map[views.ID]bool)
-	e.sys.ForEachPoint(func(pt system.Point) {
-		id := e.sys.ViewAt(pt, i)
-		val, ok := classVal[id]
-		if !ok {
-			val = true
-			for _, q := range e.sys.PointsWithView(id) {
+	// Truth of K_i f is constant on each view class; collect the
+	// distinct classes of processor i, conjoin f over each class in
+	// parallel (classes partition the indistinguishability scan), then
+	// fill the table over point shards.
+	classIdx := make(map[views.ID]int)
+	classes := make([]views.ID, 0, np/(e.sys.Horizon+1))
+	for idx := 0; idx < np; idx++ {
+		id := e.sys.ViewAt(e.sys.PointAt(idx), i)
+		if _, ok := classIdx[id]; !ok {
+			classIdx[id] = len(classes)
+			classes = append(classes, id)
+		}
+	}
+	vals := make([]bool, len(classes))
+	e.parallelItems(len(classes), 64, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			val := true
+			for _, q := range e.sys.PointsWithView(classes[c]) {
 				qi := e.sys.PointIndex(q)
 				if smem != nil && !smem[qi].Contains(i) {
 					continue
@@ -251,10 +277,14 @@ func (e *Evaluator) evalK(i types.ProcID, ft *Bits, s NonrigidSet) *Bits {
 					break
 				}
 			}
-			classVal[id] = val
+			vals[c] = val
 		}
-		if val {
-			out.Set(e.sys.PointIndex(pt), true)
+	})
+	e.parallelBits(np, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			if vals[classIdx[e.sys.ViewAt(e.sys.PointAt(idx), i)]] {
+				out.Set(idx, true)
+			}
 		}
 	})
 	return out
@@ -269,18 +299,106 @@ func (e *Evaluator) evalE(s NonrigidSet, ft *Bits) *Bits {
 	}
 	smem := e.membersTable(s)
 	out := NewBits(e.sys.NumPoints())
-	for idx := 0; idx < e.sys.NumPoints(); idx++ {
-		ok := true
-		smem[idx].ForEach(func(p types.ProcID) bool {
-			if !bTables[p].Get(idx) {
-				ok = false
-				return false
+	e.parallelBits(e.sys.NumPoints(), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			ok := true
+			smem[idx].ForEach(func(p types.ProcID) bool {
+				if !bTables[p].Get(idx) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if ok {
+				out.Set(idx, true)
+			}
+		}
+	})
+	return out
+}
+
+// occupiedClasses returns, in first-encounter order, the distinct
+// views held at some point by a processor then in S — the
+// S-indistinguishability classes driving both reachability scans.
+func (e *Evaluator) occupiedClasses(smem []types.ProcSet) []views.ID {
+	seen := make(map[views.ID]bool)
+	var classes []views.ID
+	np := e.sys.NumPoints()
+	for idx := 0; idx < np; idx++ {
+		pt := e.sys.PointAt(idx)
+		smem[idx].ForEach(func(i types.ProcID) bool {
+			id := e.sys.ViewAt(pt, i)
+			if !seen[id] {
+				seen[id] = true
+				classes = append(classes, id)
 			}
 			return true
 		})
-		out.Set(idx, ok)
 	}
-	return out
+	return classes
+}
+
+// unionClasses joins, for every class, the images under pos of the
+// points where the class's owner is in S. The per-class scans — the
+// expensive part, a BFS frontier expansion over every class member —
+// run in parallel, each shard collecting its union edges locally; the
+// unions themselves are near-free and applied sequentially, so the
+// union-find is never shared between writers. The resulting partition
+// is independent of shard boundaries and union order.
+func (e *Evaluator) unionClasses(uf *unionFind, classes []views.ID, smem []types.ProcSet, pos func(system.Point) int) {
+	type edge struct{ a, b int }
+	star := func(id views.ID, emit func(a, b int)) {
+		i := e.sys.Interner.Proc(id)
+		first := -1
+		for _, q := range e.sys.PointsWithView(id) {
+			if !smem[e.sys.PointIndex(q)].Contains(i) {
+				continue
+			}
+			p := pos(q)
+			if first < 0 {
+				first = p
+			} else {
+				emit(first, p)
+			}
+		}
+	}
+	w := e.par
+	if w > len(classes) {
+		w = len(classes)
+	}
+	if w <= 1 || len(classes) < 64 {
+		for _, id := range classes {
+			star(id, func(a, b int) { uf.union(a, b) })
+		}
+		return
+	}
+	chunk := (len(classes) + w - 1) / w
+	nsh := (len(classes) + chunk - 1) / chunk
+	shardEdges := make([][]edge, nsh)
+	var wg sync.WaitGroup
+	for si := 0; si < nsh; si++ {
+		lo := si * chunk
+		hi := lo + chunk
+		if hi > len(classes) {
+			hi = len(classes)
+		}
+		wg.Add(1)
+		mParEvalShards.Inc()
+		go func(si, lo, hi int) {
+			defer wg.Done()
+			var es []edge
+			for c := lo; c < hi; c++ {
+				star(classes[c], func(a, b int) { es = append(es, edge{a, b}) })
+			}
+			shardEdges[si] = es
+		}(si, lo, hi)
+	}
+	wg.Wait()
+	for _, es := range shardEdges {
+		for _, ed := range es {
+			uf.union(ed.a, ed.b)
+		}
+	}
 }
 
 // pointComponents returns (caching) the union-find over points whose
@@ -292,32 +410,8 @@ func (e *Evaluator) pointComponents(s NonrigidSet) *unionFind {
 	}
 	smem := e.membersTable(s)
 	uf := newUnionFind(e.sys.NumPoints())
-	// For each view class, join the points where the view's owner is
-	// in S.
-	seen := make(map[views.ID]bool)
-	e.sys.ForEachPoint(func(pt system.Point) {
-		idx := e.sys.PointIndex(pt)
-		smem[idx].ForEach(func(i types.ProcID) bool {
-			id := e.sys.ViewAt(pt, i)
-			if seen[id] {
-				return true
-			}
-			seen[id] = true
-			first := -1
-			for _, q := range e.sys.PointsWithView(id) {
-				qi := e.sys.PointIndex(q)
-				if !smem[qi].Contains(i) {
-					continue
-				}
-				if first < 0 {
-					first = qi
-				} else {
-					uf.union(first, qi)
-				}
-			}
-			return true
-		})
-	})
+	e.unionClasses(uf, e.occupiedClasses(smem), smem,
+		func(q system.Point) int { return e.sys.PointIndex(q) })
 	e.pointComp[s] = uf
 	if telemetry.Enabled() {
 		observeComponentSizes(uf, mReachPointSize)
@@ -332,26 +426,30 @@ func (e *Evaluator) evalC(s NonrigidSet, ft *Bits) *Bits {
 	smem := e.membersTable(s)
 	uf := e.pointComponents(s)
 	np := e.sys.NumPoints()
-	compAll := make(map[int]bool)
+	// flatten once so the parallel fill below reads roots without
+	// mutating the union-find's parent links.
+	roots := uf.flatten()
+	compAll := make([]bool, np)
+	compSeen := make([]bool, np)
 	for idx := 0; idx < np; idx++ {
 		if smem[idx].Empty() {
 			continue
 		}
-		root := uf.find(idx)
-		v, ok := compAll[root]
-		if !ok {
-			v = true
+		root := roots[idx]
+		if !compSeen[root] {
+			compSeen[root] = true
+			compAll[root] = true
 		}
-		compAll[root] = v && ft.Get(idx)
+		compAll[root] = compAll[root] && ft.Get(idx)
 	}
 	out := NewBits(np)
-	for idx := 0; idx < np; idx++ {
-		if smem[idx].Empty() {
-			out.Set(idx, true)
-			continue
+	e.parallelBits(np, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			if smem[idx].Empty() || compAll[roots[idx]] {
+				out.Set(idx, true)
+			}
 		}
-		out.Set(idx, compAll[uf.find(idx)])
-	}
+	})
 	return out
 }
 
@@ -361,21 +459,23 @@ func (e *Evaluator) evalBox(ft *Bits, diamond bool) *Bits {
 	np := e.sys.NumPoints()
 	out := NewBits(np)
 	h := e.sys.Horizon
-	for r := 0; r < e.sys.NumRuns(); r++ {
-		base := r * (h + 1)
-		val := !diamond
-		for m := 0; m <= h; m++ {
-			bit := ft.Get(base + m)
-			if diamond {
-				val = val || bit
-			} else {
-				val = val && bit
+	e.parallelRuns(e.sys.NumRuns(), func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			base := r * (h + 1)
+			val := !diamond
+			for m := 0; m <= h; m++ {
+				bit := ft.Get(base + m)
+				if diamond {
+					val = val || bit
+				} else {
+					val = val && bit
+				}
+			}
+			for m := 0; m <= h; m++ {
+				out.Set(base+m, val)
 			}
 		}
-		for m := 0; m <= h; m++ {
-			out.Set(base+m, val)
-		}
-	}
+	})
 	return out
 }
 
@@ -385,19 +485,21 @@ func (e *Evaluator) evalSuffix(ft *Bits, diamond bool) *Bits {
 	np := e.sys.NumPoints()
 	out := NewBits(np)
 	h := e.sys.Horizon
-	for r := 0; r < e.sys.NumRuns(); r++ {
-		base := r * (h + 1)
-		val := !diamond
-		for m := h; m >= 0; m-- {
-			bit := ft.Get(base + m)
-			if diamond {
-				val = val || bit
-			} else {
-				val = val && bit
+	e.parallelRuns(e.sys.NumRuns(), func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			base := r * (h + 1)
+			val := !diamond
+			for m := h; m >= 0; m-- {
+				bit := ft.Get(base + m)
+				if diamond {
+					val = val || bit
+				} else {
+					val = val && bit
+				}
+				out.Set(base+m, val)
 			}
-			out.Set(base+m, val)
 		}
-	}
+	})
 	return out
 }
 
@@ -410,17 +512,21 @@ func (e *Evaluator) evalEDiamond(s NonrigidSet, ft *Bits) *Bits {
 	}
 	smem := e.membersTable(s)
 	out := NewBits(e.sys.NumPoints())
-	for idx := 0; idx < e.sys.NumPoints(); idx++ {
-		ok := true
-		smem[idx].ForEach(func(p types.ProcID) bool {
-			if !futures[p].Get(idx) {
-				ok = false
-				return false
+	e.parallelBits(e.sys.NumPoints(), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			ok := true
+			smem[idx].ForEach(func(p types.ProcID) bool {
+				if !futures[p].Get(idx) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if ok {
+				out.Set(idx, true)
 			}
-			return true
-		})
-		out.Set(idx, ok)
-	}
+		}
+	})
 	return out
 }
 
@@ -452,29 +558,8 @@ func (e *Evaluator) runComponents(s NonrigidSet) *unionFind {
 	}
 	smem := e.membersTable(s)
 	uf := newUnionFind(e.sys.NumRuns())
-	seen := make(map[views.ID]bool)
-	e.sys.ForEachPoint(func(pt system.Point) {
-		idx := e.sys.PointIndex(pt)
-		smem[idx].ForEach(func(i types.ProcID) bool {
-			id := e.sys.ViewAt(pt, i)
-			if seen[id] {
-				return true
-			}
-			seen[id] = true
-			first := -1
-			for _, q := range e.sys.PointsWithView(id) {
-				if !smem[e.sys.PointIndex(q)].Contains(i) {
-					continue
-				}
-				if first < 0 {
-					first = q.Run
-				} else {
-					uf.union(first, q.Run)
-				}
-			}
-			return true
-		})
-	})
+	e.unionClasses(uf, e.occupiedClasses(smem), smem,
+		func(q system.Point) int { return q.Run })
 	e.runComp[s] = uf
 	if telemetry.Enabled() {
 		observeComponentSizes(uf, mReachRunSize)
@@ -492,39 +577,43 @@ func (e *Evaluator) evalCBox(s NonrigidSet, ft *Bits) *Bits {
 	uf := e.runComponents(s)
 	h := e.sys.Horizon
 	np := e.sys.NumPoints()
+	nr := e.sys.NumRuns()
 
+	// flatten once so the parallel fill below reads roots without
+	// mutating the union-find's parent links.
+	roots := uf.flatten()
 	// occupied[r]: whether run r has any S-occupied point.
 	// compAll[root]: f holds at every S-occupied point of the
 	// component's runs.
-	occupied := make([]bool, e.sys.NumRuns())
-	compAll := make(map[int]bool)
-	for r := 0; r < e.sys.NumRuns(); r++ {
+	occupied := make([]bool, nr)
+	compAll := make([]bool, nr)
+	compSeen := make([]bool, nr)
+	for r := 0; r < nr; r++ {
 		base := r * (h + 1)
 		for m := 0; m <= h; m++ {
 			if !smem[base+m].Empty() {
 				occupied[r] = true
-				root := uf.find(r)
-				v, ok := compAll[root]
-				if !ok {
-					v = true
+				root := roots[r]
+				if !compSeen[root] {
+					compSeen[root] = true
+					compAll[root] = true
 				}
-				compAll[root] = v && ft.Get(base+m)
+				compAll[root] = compAll[root] && ft.Get(base+m)
 			}
 		}
 	}
 	out := NewBits(np)
-	for r := 0; r < e.sys.NumRuns(); r++ {
-		val := true
-		if occupied[r] {
-			val = compAll[uf.find(r)]
-		}
-		if val {
+	e.parallelRuns(nr, func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			if occupied[r] && !compAll[roots[r]] {
+				continue
+			}
 			base := r * (h + 1)
 			for m := 0; m <= h; m++ {
 				out.Set(base+m, true)
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -590,6 +679,17 @@ func (uf *unionFind) find(x int) int {
 		x = uf.parent[x]
 	}
 	return x
+}
+
+// flatten returns the root of every element in one pass. find mutates
+// parent links (path compression), so concurrent readers must work
+// from a flattened snapshot rather than calling find directly.
+func (uf *unionFind) flatten() []int {
+	roots := make([]int, len(uf.parent))
+	for i := range roots {
+		roots[i] = uf.find(i)
+	}
+	return roots
 }
 
 func (uf *unionFind) union(a, b int) {

@@ -1,0 +1,88 @@
+package knowledge
+
+import (
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// TestParallelEvalBitIdentical pins the evaluator's determinism
+// contract: every operator family must produce bit-identical truth
+// tables at parallelism 1 (forced sequential) and at several sharded
+// widths. The omission system at h=3 is large enough (6k+ points) to
+// cross parMinWork, so the parallel paths genuinely engage.
+func TestParallelEvalBitIdentical(t *testing.T) {
+	sys, err := system.Enumerate(types.Params{N: 3, T: 1}, failures.Omission, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumPoints() < parMinWork {
+		t.Fatalf("test system has %d points, below parMinWork %d — parallel paths would not engage", sys.NumPoints(), parMinWork)
+	}
+	// One representative formula per evaluator stage: atoms, K/B, E,
+	// C (point components), C□ (run components), the temporal
+	// modalities, E◇, and the C◇ fixed point.
+	formulas := []string{
+		"E0",
+		"K0 E0",
+		"B1 E0",
+		"E E0",
+		"C E0",
+		"Cbox E0",
+		"box E0",
+		"dia E1",
+		"alw E0",
+		"ev E1",
+		"Cdia E0",
+		"Cbox E0 -> C E0",
+		"nf0 -> (K0 E0 | !K0 E0)",
+	}
+	parsed := make(map[string]Formula, len(formulas)+1)
+	for _, src := range formulas {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		parsed[src] = f
+	}
+	// E◇ has no parser token; exercise it via the constructor.
+	parsed["EDiamond(E0)"] = EDiamond(Nonfaulty(), Exists0())
+	formulas = append(formulas, "EDiamond(E0)")
+	for _, src := range formulas {
+		f := parsed[src]
+		seq := NewEvaluator(sys)
+		seq.SetParallelism(1)
+		want := seq.Eval(f)
+		for _, w := range []int{2, 4, 7} {
+			par := NewEvaluator(sys)
+			par.SetParallelism(w)
+			if got := par.Eval(f); !got.Equal(want) {
+				t.Fatalf("%q: table at parallelism %d differs from sequential", src, w)
+			}
+		}
+	}
+}
+
+// TestSetDefaultParallelism checks the process-wide default is
+// inherited by new evaluators and restorable.
+func TestSetDefaultParallelism(t *testing.T) {
+	defer SetDefaultParallelism(0)
+	sys, err := system.Enumerate(types.Params{N: 3, T: 1}, failures.Crash, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDefaultParallelism(1)
+	if got := NewEvaluator(sys).Parallelism(); got != 1 {
+		t.Fatalf("Parallelism() = %d after SetDefaultParallelism(1)", got)
+	}
+	SetDefaultParallelism(3)
+	if got := NewEvaluator(sys).Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetDefaultParallelism(3)", got)
+	}
+	SetDefaultParallelism(0)
+	if got := NewEvaluator(sys).Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d after restoring the default", got)
+	}
+}

@@ -217,6 +217,12 @@ func RunResilient(p sim.Protocol, params types.Params, cfg types.Config, opts Op
 		}
 	}
 
+	// The shared round-schedule anchor: round r's frames are due by
+	// t0 + r·deadline on every processor. Captured before the accept
+	// loops and the dial loop, so both the handshake deadlines and the
+	// sender links' delayed-frame aiming share one clock.
+	t0 := time.Now()
+
 	// Accept loops: route incoming connections (initial and
 	// reconnects) to their link by the handshake byte.
 	for j := 0; j < n; j++ {
@@ -233,7 +239,7 @@ func RunResilient(p sim.Protocol, params types.Params, cfg types.Config, opts Op
 				netwg.Add(1)
 				go func() {
 					defer netwg.Done()
-					conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+					conn.SetReadDeadline(handshakeDeadline(t0, h, deadline, time.Now()))
 					var id [1]byte
 					if _, err := io.ReadFull(conn, id[:]); err != nil {
 						conn.Close()
@@ -255,11 +261,6 @@ func RunResilient(p sim.Protocol, params types.Params, cfg types.Config, opts Op
 		}()
 	}
 
-	// The shared round-schedule anchor: round r's frames are due by
-	// t0 + r·deadline on every processor. Captured before the dial
-	// loop so the sender links can aim delayed frames past it.
-	t0 := time.Now()
-
 	// Sender links: one serializing writer per directed link, with
 	// chaos realization and reconnect-with-backoff.
 	sends := make([][]*sendLink, n)
@@ -276,7 +277,7 @@ func RunResilient(p sim.Protocol, params types.Params, cfg types.Config, opts Op
 				mode: mode, ctx: ctx, reg: reg,
 				base: backBase, max: backMax,
 				t0: t0, deadline: deadline,
-				rng: rand.New(rand.NewSource(seed ^ int64(i*64+j+1)<<17)),
+				rng:      rand.New(rand.NewSource(seed ^ int64(i*64+j+1)<<17)),
 				mSent:    frameCounter(types.ProcID(i), types.ProcID(j), "sent"),
 				mDropped: frameCounter(types.ProcID(i), types.ProcID(j), "dropped"),
 				mRedials: telemetry.Default().Counter("eba_net_redials_total", linkLabel(types.ProcID(i), types.ProcID(j))),
@@ -423,6 +424,23 @@ func closeListeners(lns []net.Listener) {
 			ln.Close()
 		}
 	}
+}
+
+// handshakeDeadline bounds the wait for an accepted connection's
+// one-byte sender-ID handshake. Reconnects legitimately arrive any
+// time up to the end of the round schedule, so the deadline is the
+// schedule's end — t0 + (h+1)·deadline, one slack round past the last
+// due time — not a constant: a fixed 5 s both cut off handshakes in
+// long-horizon runs whose schedule outlives it and kept accept
+// goroutines parked long after short runs had finished. A 5 s floor
+// (from now) still covers dial latency and skew when the schedule end
+// is near or past.
+func handshakeDeadline(t0 time.Time, h int, deadline time.Duration, now time.Time) time.Time {
+	end := t0.Add(time.Duration(h+1) * deadline)
+	if floor := now.Add(5 * time.Second); end.Before(floor) {
+		return floor
+	}
+	return end
 }
 
 // dialLink establishes one directed connection with the one-byte

@@ -213,3 +213,37 @@ func TestReconstructionErrorUnwrap(t *testing.T) {
 		t.Fatal("empty error string")
 	}
 }
+
+// TestHandshakeDeadline pins the accept-side handshake deadline to the
+// round schedule: it must cover the whole schedule (regression for the
+// hardcoded 5 s that cut off reconnect handshakes in runs whose
+// schedule outlived it) and still apply the 5 s floor when the
+// schedule end is sooner.
+func TestHandshakeDeadline(t *testing.T) {
+	t0 := time.Now()
+
+	// Long schedule: 9 rounds at 6 s outlives the old fixed 5 s by far;
+	// the deadline must be the schedule end, one slack round past the
+	// last due time.
+	got := handshakeDeadline(t0, 9, 6*time.Second, t0)
+	if want := t0.Add(10 * 6 * time.Second); !got.Equal(want) {
+		t.Fatalf("long schedule: deadline %v, want schedule end %v", got, want)
+	}
+	if got.Before(t0.Add(5 * time.Second)) {
+		t.Fatalf("long schedule: deadline %v inside the old 5s window", got)
+	}
+
+	// Tiny schedule: the 5 s floor wins, so a late-run accept still has
+	// time to read its handshake byte.
+	now := t0.Add(100 * time.Millisecond)
+	got = handshakeDeadline(t0, 2, 10*time.Millisecond, now)
+	if want := now.Add(5 * time.Second); !got.Equal(want) {
+		t.Fatalf("tiny schedule: deadline %v, want floor %v", got, want)
+	}
+
+	// Boundary: schedule end exactly at the floor is kept as-is.
+	got = handshakeDeadline(t0, 4, time.Second, t0)
+	if want := t0.Add(5 * time.Second); !got.Equal(want) {
+		t.Fatalf("boundary: deadline %v, want %v", got, want)
+	}
+}

@@ -77,12 +77,27 @@ type Response struct {
 type Engine struct {
 	store   *store.Store
 	timeout time.Duration // per query; 0 = no engine-imposed limit
+	// parallel bounds each query evaluator's worker pool; 0 means
+	// runtime.GOMAXPROCS(0), 1 forces sequential evaluation.
+	parallel int
 }
 
 // NewEngine wraps a store. timeout bounds each Execute call (0
 // disables the bound; a caller-supplied context still applies).
 func NewEngine(st *store.Store, timeout time.Duration) *Engine {
 	return &Engine{store: st, timeout: timeout}
+}
+
+// SetParallelism bounds the worker pools used on compute paths: the
+// per-query evaluator and the store's cold enumerations. Tables and
+// snapshots are bit-identical at every setting. Call before serving;
+// the setting is read by later queries without synchronization.
+func (e *Engine) SetParallelism(w int) {
+	if w < 0 {
+		w = 0
+	}
+	e.parallel = w
+	e.store.SetParallelism(w)
 }
 
 // Store returns the engine's store (for inventory endpoints).
@@ -176,7 +191,9 @@ func (e *Engine) execute(key store.Key, f knowledge.Formula, raw string, start t
 	// variants of one formula share a truth table.
 	canonical := f.String()
 	tbl, resOrigin, err := e.store.Result(key, canonical, func(sys *system.System) (*knowledge.Bits, error) {
-		return knowledge.NewEvaluator(sys).Eval(f), nil
+		ev := knowledge.NewEvaluator(sys)
+		ev.SetParallelism(e.parallel)
+		return ev.Eval(f), nil
 	})
 	if err != nil {
 		return nil, err

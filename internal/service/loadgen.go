@@ -14,16 +14,16 @@ import (
 
 // LoadReport summarizes a load-generation run against a daemon.
 type LoadReport struct {
-	Queries   int     `json:"queries"`
-	Errors    int     `json:"errors"`
-	ElapsedS  float64 `json:"elapsed_s"`
-	QPS       float64 `json:"qps"`
-	P50MS     float64 `json:"p50_ms"`
-	P95MS     float64 `json:"p95_ms"`
-	MaxMS     float64 `json:"max_ms"`
-	Workers   int     `json:"workers"`
-	Formulas  int     `json:"formulas"`
-	FirstErr  string  `json:"first_error,omitempty"`
+	Queries  int     `json:"queries"`
+	Errors   int     `json:"errors"`
+	ElapsedS float64 `json:"elapsed_s"`
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	Workers  int     `json:"workers"`
+	Formulas int     `json:"formulas"`
+	FirstErr string  `json:"first_error,omitempty"`
 }
 
 // RunLoad fires total queries at baseURL's /v1/query from workers

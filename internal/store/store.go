@@ -122,6 +122,10 @@ type Store struct {
 	resFlight map[resultFlightKey]*flight
 	stats     Stats
 
+	// parallel bounds the worker pool for cold enumerations; 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the sequential builder.
+	parallel int
+
 	// enumerate builds a system on a full miss; a test hook, and the
 	// place a future multi-backend store would plug in remote builds.
 	enumerate func(Key) (*system.System, error)
@@ -147,17 +151,41 @@ func Open(dir string, maxMem int) (*Store, error) {
 			}
 		}
 	}
-	return &Store{
+	s := &Store{
 		dir:       dir,
 		maxMem:    maxMem,
 		entries:   make(map[Key]*entry),
 		lru:       list.New(),
 		inflight:  make(map[Key]*flight),
 		resFlight: make(map[resultFlightKey]*flight),
-		enumerate: enumerateKey,
-	}, nil
+	}
+	s.enumerate = s.enumerateKey
+	return s, nil
 }
 
+// SetParallelism bounds the worker pool used by cold enumerations.
+// w <= 0 restores the default (runtime.GOMAXPROCS(0)); w == 1 forces
+// the sequential builder. The parallel builder is digest-identical to
+// the sequential one, so the setting never changes what is stored —
+// only how fast a miss fills.
+func (s *Store) SetParallelism(w int) {
+	if w < 0 {
+		w = 0
+	}
+	s.mu.Lock()
+	s.parallel = w
+	s.mu.Unlock()
+}
+
+func (s *Store) enumerateKey(k Key) (*system.System, error) {
+	s.mu.Lock()
+	w := s.parallel
+	s.mu.Unlock()
+	return system.EnumerateParallel(types.Params{N: k.N, T: k.T}, k.Mode, k.Horizon, k.Limit, w)
+}
+
+// enumerateKey is the store-independent sequential build; tests use it
+// as the ground truth the (possibly parallel) store fills must match.
 func enumerateKey(k Key) (*system.System, error) {
 	return system.Enumerate(types.Params{N: k.N, T: k.T}, k.Mode, k.Horizon, k.Limit)
 }

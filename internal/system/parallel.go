@@ -1,0 +1,168 @@
+package system
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/telemetry"
+	"github.com/eventual-agreement/eba/internal/types"
+	"github.com/eventual-agreement/eba/internal/views"
+)
+
+// Telemetry for the parallel cold path. Worker count is the last
+// build's effective pool size; shard sizes and merge time expose the
+// balance between the parallel run-generation stage and the
+// sequential re-interning merge.
+var (
+	mParBuilds    = telemetry.Default().Counter("eba_parallel_builds_total")
+	mParWorkers   = telemetry.Default().Gauge("eba_parallel_workers")
+	mParShardRuns = telemetry.Default().Histogram("eba_parallel_shard_runs",
+		[]float64{1, 16, 64, 256, 1024, 4096, 16384, 65536, 262144})
+	mParMergeSeconds = telemetry.Default().Histogram("eba_parallel_merge_seconds",
+		[]float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60})
+)
+
+// EnumerateParallel is Enumerate with run generation spread across a
+// worker pool; see FromPatternsParallel for the determinism contract.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func EnumerateParallel(params types.Params, mode failures.Mode, horizon, limit, workers int) (*System, error) {
+	pats, err := enumerate(params, mode, horizon, limit)
+	if err != nil {
+		return nil, err
+	}
+	return FromPatternsParallel(params, mode, horizon, pats, workers)
+}
+
+// FromPatternsParallel builds the same System as FromPatterns by
+// sharding the (failure pattern × initial configuration) work list
+// across a bounded worker pool. Each worker generates its shard's runs
+// against a private interner; a single-threaded merge then re-interns
+// every view into the shared DAG in canonical order (pattern-major,
+// configuration-minor, run-major within a run's view table — exactly
+// the order the sequential build interns in). Because hash-cons keys
+// are built from already-translated IDs, first-encounter order
+// determines ID assignment, so the merged System is structurally
+// identical to the sequential one: same run order, same view IDs, and
+// therefore the same snapshot encoding and content digest.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 (or a work
+// list smaller than 2 items) falls back to the sequential builder.
+func FromPatternsParallel(params types.Params, mode failures.Mode, horizon int, pats []*failures.Pattern, workers int) (*System, error) {
+	if err := validateBuild(params, mode, horizon, pats); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nconfigs := 1 << uint(params.N)
+	items := len(pats) * nconfigs
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		return FromPatterns(params, mode, horizon, pats)
+	}
+
+	var start time.Time
+	if telemetry.Enabled() {
+		start = time.Now()
+		sp := telemetry.BeginSpan("system.enumerate_parallel",
+			telemetry.L("n", fmt.Sprint(params.N)),
+			telemetry.L("t", fmt.Sprint(params.T)),
+			telemetry.L("mode", mode.String()),
+			telemetry.L("horizon", fmt.Sprint(horizon)),
+			telemetry.L("patterns", fmt.Sprint(len(pats))),
+			telemetry.L("workers", fmt.Sprint(workers)))
+		defer sp.End()
+		defer func() { mEnumSeconds.Observe(time.Since(start).Seconds()) }()
+	}
+	mParBuilds.Inc()
+	mParWorkers.Set(float64(workers))
+
+	// Stage 1: sharded run generation. Work item k is pattern
+	// k/nconfigs with configuration k%nconfigs — the canonical order —
+	// and shards are contiguous item ranges, so the merge can walk
+	// shard after shard and still visit items in canonical order.
+	type shard struct {
+		lo, hi int
+		in     *views.Interner
+		runs   [][][]views.ID // runs[k-lo] = view table of item k
+	}
+	shards := make([]*shard, 0, workers)
+	chunk := (items + workers - 1) / workers
+	for lo := 0; lo < items; lo += chunk {
+		hi := lo + chunk
+		if hi > items {
+			hi = items
+		}
+		shards = append(shards, &shard{lo: lo, hi: hi})
+	}
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.in = views.NewInterner(params.N)
+			sh.runs = make([][][]views.ID, 0, sh.hi-sh.lo)
+			for item := sh.lo; item < sh.hi; item++ {
+				pat := pats[item/nconfigs]
+				cfg := types.ConfigFromBits(params.N, uint64(item%nconfigs))
+				sh.runs = append(sh.runs, views.BuildRun(sh.in, cfg, pat))
+			}
+		}(sh)
+	}
+	wg.Wait()
+
+	// Stage 2: deterministic merge. Import each run's views into the
+	// shared interner in canonical order; a run's time-m views only
+	// reference time-(m-1) views of the same run, so every import after
+	// the first row is a memo hit on its children and the shared
+	// interner sees first encounters in exactly the sequential order.
+	mergeStart := time.Now()
+	in := views.NewInterner(params.N)
+	sys := &System{
+		Params:   params,
+		Mode:     mode,
+		Horizon:  horizon,
+		Interner: in,
+		byView:   make(map[views.ID][]Point),
+	}
+	sys.Runs = make([]*Run, 0, items)
+	for _, sh := range shards {
+		mParShardRuns.Observe(float64(sh.hi - sh.lo))
+		imp := views.NewImporter(in, sh.in)
+		for k, rv := range sh.runs {
+			item := sh.lo + k
+			run := &Run{
+				Index:   len(sys.Runs),
+				Config:  types.ConfigFromBits(params.N, uint64(item%nconfigs)),
+				Pattern: pats[item/nconfigs],
+				Views:   make([][]views.ID, horizon+1),
+			}
+			for m := 0; m <= horizon; m++ {
+				row := make([]views.ID, params.N)
+				for p := 0; p < params.N; p++ {
+					row[p] = imp.Import(rv[m][p])
+				}
+				run.Views[m] = row
+			}
+			sys.Runs = append(sys.Runs, run)
+			for m := 0; m <= horizon; m++ {
+				pt := Point{Run: run.Index, Time: types.Round(m)}
+				for p := 0; p < params.N; p++ {
+					sys.byView[run.Views[m][p]] = append(sys.byView[run.Views[m][p]], pt)
+				}
+			}
+		}
+		// Release the worker-local interner and view tables as soon as
+		// they are merged; for big systems they dominate peak memory.
+		sh.in, sh.runs = nil, nil
+	}
+	mParMergeSeconds.Observe(time.Since(mergeStart).Seconds())
+	mRunsEnumerated.Add(uint64(len(sys.Runs)))
+	mPointsEnumerated.Add(uint64(sys.NumPoints()))
+	return sys, nil
+}

@@ -76,38 +76,37 @@ type System struct {
 // Enumerate builds the exhaustive system for the mode: all initial
 // configurations crossed with all canonical failure patterns up to t
 // faulty processors. For the omission mode the pattern count grows as
-// (2^(n-1))^h per faulty processor; limit > 0 bounds it (0 = no
-// limit).
+// (2^(n-1))^h per faulty processor; limit > 0 bounds it, limit == 0
+// means no limit, and limit < 0 is an error.
 func Enumerate(params types.Params, mode failures.Mode, horizon int, limit int) (*System, error) {
-	var (
-		pats []*failures.Pattern
-		err  error
-	)
-	switch mode {
-	case failures.Crash:
-		pats, err = failures.EnumCrash(params.N, params.T, horizon)
-	case failures.Omission:
-		pats, err = failures.EnumOmission(params.N, params.T, horizon, limit)
-	default:
-		err = fmt.Errorf("system: invalid mode %v", mode)
-	}
+	pats, err := enumerate(params, mode, horizon, limit)
 	if err != nil {
 		return nil, err
 	}
 	return FromPatterns(params, mode, horizon, pats)
 }
 
+// enumerate is the shared pattern-enumeration front of Enumerate and
+// EnumerateParallel.
+func enumerate(params types.Params, mode failures.Mode, horizon int, limit int) ([]*failures.Pattern, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("system: negative pattern limit %d (0 means no limit)", limit)
+	}
+	switch mode {
+	case failures.Crash:
+		return failures.EnumCrash(params.N, params.T, horizon)
+	case failures.Omission:
+		return failures.EnumOmission(params.N, params.T, horizon, limit)
+	default:
+		return nil, fmt.Errorf("system: invalid mode %v", mode)
+	}
+}
+
 // FromPatterns builds the system over an explicit adversary class:
 // all initial configurations crossed with the given patterns.
 func FromPatterns(params types.Params, mode failures.Mode, horizon int, pats []*failures.Pattern) (*System, error) {
-	if err := params.Validate(); err != nil {
+	if err := validateBuild(params, mode, horizon, pats); err != nil {
 		return nil, err
-	}
-	if horizon < 1 {
-		return nil, fmt.Errorf("system: horizon %d < 1", horizon)
-	}
-	if len(pats) == 0 {
-		return nil, fmt.Errorf("system: no failure patterns")
 	}
 	var start time.Time
 	if telemetry.Enabled() {
@@ -132,18 +131,6 @@ func FromPatterns(params types.Params, mode failures.Mode, horizon int, pats []*
 	nconfigs := uint64(1) << uint(params.N)
 	sys.Runs = make([]*Run, 0, len(pats)*int(nconfigs))
 	for _, pat := range pats {
-		if pat.Mode() != mode {
-			return nil, fmt.Errorf("system: pattern mode %v, want %v", pat.Mode(), mode)
-		}
-		if pat.N() != params.N {
-			return nil, fmt.Errorf("system: pattern for n=%d, want %d", pat.N(), params.N)
-		}
-		if pat.Horizon() != horizon {
-			return nil, fmt.Errorf("system: pattern horizon %d, want %d", pat.Horizon(), horizon)
-		}
-		if pat.Faulty().Len() > params.T {
-			return nil, fmt.Errorf("system: pattern has %d faulty, t=%d", pat.Faulty().Len(), params.T)
-		}
 		for mask := uint64(0); mask < nconfigs; mask++ {
 			cfg := types.ConfigFromBits(params.N, mask)
 			run := &Run{
@@ -165,6 +152,35 @@ func FromPatterns(params types.Params, mode failures.Mode, horizon int, pats []*
 	mRunsEnumerated.Add(uint64(len(sys.Runs)))
 	mPointsEnumerated.Add(uint64(sys.NumPoints()))
 	return sys, nil
+}
+
+// validateBuild checks the build parameters and every pattern against
+// them; shared by the sequential and parallel builders.
+func validateBuild(params types.Params, mode failures.Mode, horizon int, pats []*failures.Pattern) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	if horizon < 1 {
+		return fmt.Errorf("system: horizon %d < 1", horizon)
+	}
+	if len(pats) == 0 {
+		return fmt.Errorf("system: no failure patterns")
+	}
+	for _, pat := range pats {
+		if pat.Mode() != mode {
+			return fmt.Errorf("system: pattern mode %v, want %v", pat.Mode(), mode)
+		}
+		if pat.N() != params.N {
+			return fmt.Errorf("system: pattern for n=%d, want %d", pat.N(), params.N)
+		}
+		if pat.Horizon() != horizon {
+			return fmt.Errorf("system: pattern horizon %d, want %d", pat.Horizon(), horizon)
+		}
+		if pat.Faulty().Len() > params.T {
+			return fmt.Errorf("system: pattern has %d faulty, t=%d", pat.Faulty().Len(), params.T)
+		}
+	}
+	return nil
 }
 
 // NumRuns returns the number of runs.

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/eventual-agreement/eba/internal/failures"
@@ -156,5 +157,32 @@ func TestIndistinguishableRunsShareViews(t *testing.T) {
 	}
 	if _, ok := sys.FindRun(cfgA, "nonsense"); ok {
 		t.Fatal("FindRun matched nonsense key")
+	}
+}
+
+// TestEnumerateLimitSemantics pins the limit contract at the system
+// layer for both modes: 0 means no limit (crash mode ignores the bound
+// entirely), and a negative limit is an error before any enumeration
+// happens.
+func TestEnumerateLimitSemantics(t *testing.T) {
+	params := types.Params{N: 3, T: 1}
+	if _, err := Enumerate(params, failures.Crash, 2, 0); err != nil {
+		t.Fatalf("crash, limit 0: %v", err)
+	}
+	if _, err := Enumerate(params, failures.Omission, 1, 0); err != nil {
+		t.Fatalf("omission, limit 0 (no limit): %v", err)
+	}
+	for _, mode := range []failures.Mode{failures.Crash, failures.Omission} {
+		_, err := Enumerate(params, mode, 2, -7)
+		if err == nil {
+			t.Fatalf("%v: negative limit accepted", mode)
+		}
+		if !strings.Contains(err.Error(), "negative pattern limit") {
+			t.Fatalf("%v: negative limit error %q does not name the cause", mode, err)
+		}
+	}
+	// The parallel front shares the same contract.
+	if _, err := EnumerateParallel(params, failures.Crash, 2, -7, 4); err == nil {
+		t.Fatal("EnumerateParallel: negative limit accepted")
 	}
 }

@@ -1,0 +1,116 @@
+package views
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// buildContentionInterner populates an interner with every run of the
+// crash-mode n=3 t=1 h=3 adversary over all configurations — enough
+// structure that the recursive analyses do real work on shared nodes.
+func buildContentionInterner(tb testing.TB) *Interner {
+	tb.Helper()
+	pats, err := failures.EnumCrash(3, 1, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	in := NewInterner(3)
+	for _, pat := range pats {
+		for mask := uint64(0); mask < 8; mask++ {
+			BuildRun(in, types.ConfigFromBits(3, mask), pat)
+		}
+	}
+	return in
+}
+
+// TestAnalysesUnderContention hammers the four memoized analyses from
+// many goroutines on cold memos, with every goroutine walking the IDs
+// in a different order so recursions overlap on shared subviews. Run
+// under -race this proves the narrowed memo locking (read-locked
+// lookup, unlocked recursion, brief write-locked publish) is sound;
+// the results are compared against a sequentially-computed twin
+// interner, which also checks that duplicated computation stays
+// value-identical.
+func TestAnalysesUnderContention(t *testing.T) {
+	seq := buildContentionInterner(t) // sequential baseline
+	con := buildContentionInterner(t) // hammered concurrently
+
+	if seq.Size() != con.Size() {
+		t.Fatalf("twin interners diverge: %d vs %d nodes", seq.Size(), con.Size())
+	}
+	size := con.Size()
+
+	type answers struct {
+		known    [][]types.Value
+		evidence []types.ProcSet
+		accepts  []bool
+		believes []bool
+	}
+	collect := func(in *Interner, lo, hi, stride int, dst *answers) {
+		for k := lo; k < hi; k++ {
+			// Permuted walk: goroutines meet on shared nodes mid-recursion.
+			id := ID((k * stride) % size)
+			dst.known[id] = in.KnownValues(id)
+			dst.evidence[id] = in.FaultEvidence(id)
+			dst.accepts[id] = in.AcceptsZeroAt(id)
+			dst.believes[id] = in.BelievesExistsZeroStar(id)
+		}
+	}
+	newAnswers := func() *answers {
+		return &answers{
+			known:    make([][]types.Value, size),
+			evidence: make([]types.ProcSet, size),
+			accepts:  make([]bool, size),
+			believes: make([]bool, size),
+		}
+	}
+
+	want := newAnswers()
+	collect(seq, 0, size, 1, want)
+
+	// Coprime strides w.r.t. any size guarantee full coverage per
+	// goroutine while maximizing overlap disorder.
+	strides := []int{1, 3, 5, 7, 11, 13, 17, 19}
+	got := make([]*answers, len(strides))
+	var wg sync.WaitGroup
+	for g, stride := range strides {
+		if gcd(stride, size) != 1 {
+			stride = 1
+		}
+		got[g] = newAnswers()
+		wg.Add(1)
+		go func(g, stride int) {
+			defer wg.Done()
+			collect(con, 0, size, stride, got[g])
+		}(g, stride)
+	}
+	wg.Wait()
+
+	for g := range got {
+		for id := 0; id < size; id++ {
+			if fmt.Sprint(got[g].known[id]) != fmt.Sprint(want.known[id]) {
+				t.Fatalf("goroutine %d: KnownValues(%d) = %v, want %v", g, id, got[g].known[id], want.known[id])
+			}
+			if got[g].evidence[id] != want.evidence[id] {
+				t.Fatalf("goroutine %d: FaultEvidence(%d) = %v, want %v", g, id, got[g].evidence[id], want.evidence[id])
+			}
+			if got[g].accepts[id] != want.accepts[id] {
+				t.Fatalf("goroutine %d: AcceptsZeroAt(%d) = %v, want %v", g, id, got[g].accepts[id], want.accepts[id])
+			}
+			if got[g].believes[id] != want.believes[id] {
+				t.Fatalf("goroutine %d: BelievesExistsZeroStar(%d) = %v, want %v", g, id, got[g].believes[id], want.believes[id])
+			}
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -74,7 +74,7 @@ type node struct {
 // Interner (or guards it). Once interning is complete the structure is
 // read-mostly: the memoized syntactic analyses (KnownValues, Knows,
 // FaultEvidence, AcceptsZeroAt, BelievesExistsZeroStar, ...) take an
-// internal mutex around their lazily-filled tables, so any number of
+// internal lock around their lazily-filled tables, so any number of
 // goroutines may query a fully-built interner concurrently — the
 // contract the epistemic query service relies on.
 type Interner struct {
@@ -85,7 +85,17 @@ type Interner struct {
 	// memoMu guards the lazily grown memo tables below (indexed by
 	// ID). It deliberately does not guard nodes/index: interning and
 	// concurrent analysis must not overlap.
-	memoMu     sync.Mutex
+	//
+	// The lock discipline is deliberately narrow: lookups take the
+	// read lock for a single slice access, computation runs with no
+	// lock held, and each finished entry is published under a brief
+	// write lock. Two goroutines racing on a cold entry may therefore
+	// both compute it — the analyses are pure functions of the
+	// immutable node table, so the duplicates are identical and
+	// last-writer-wins is safe — but concurrent evaluators never
+	// serialize on one another's recursions, which is what lets the
+	// parallel knowledge evaluator scale across cores.
+	memoMu     sync.RWMutex
 	knownVals  [][]types.Value
 	faultEv    []types.ProcSet
 	faultEvOK  []bool
@@ -230,17 +240,20 @@ func (in *Interner) HeardFrom(id ID) types.ProcSet {
 // it is recorded anywhere in the view, else Unset. The result is owned
 // by the interner; callers must not modify it.
 func (in *Interner) KnownValues(id ID) []types.Value {
-	in.memoMu.Lock()
-	defer in.memoMu.Unlock()
-	return in.knownValues(id)
-}
-
-// knownValues is the recursive core of KnownValues; memoMu must be
-// held.
-func (in *Interner) knownValues(id ID) []types.Value {
-	if kv := in.knownVals[id]; kv != nil {
+	in.memoMu.RLock()
+	kv := in.knownVals[id]
+	in.memoMu.RUnlock()
+	if kv != nil {
 		return kv
 	}
+	return in.computeKnownValues(id)
+}
+
+// computeKnownValues fills the KnownValues memo for a cold entry. It
+// recurses through the public wrapper so child lookups hit warm memos
+// under the read lock, and publishes its own entry under a brief write
+// lock.
+func (in *Interner) computeKnownValues(id ID) []types.Value {
 	nd := in.node(id)
 	kv := make([]types.Value, in.n)
 	for i := range kv {
@@ -252,13 +265,15 @@ func (in *Interner) knownValues(id ID) []types.Value {
 		if ch == NoView {
 			continue
 		}
-		for q, v := range in.knownValues(ch) {
+		for q, v := range in.KnownValues(ch) {
 			if v != types.Unset {
 				kv[q] = v
 			}
 		}
 	}
+	in.memoMu.Lock()
 	in.knownVals[id] = kv
+	in.memoMu.Unlock()
 	return kv
 }
 
@@ -295,17 +310,18 @@ func (in *Interner) KnowsAll(id ID, v types.Value) bool {
 // nonfaulty is consistent with the view. (The equivalence is checked
 // against the semantic evaluator in the knowledge package's tests.)
 func (in *Interner) FaultEvidence(id ID) types.ProcSet {
-	in.memoMu.Lock()
-	defer in.memoMu.Unlock()
-	return in.faultEvidence(id)
+	in.memoMu.RLock()
+	ok, s := in.faultEvOK[id], in.faultEv[id]
+	in.memoMu.RUnlock()
+	if ok {
+		return s
+	}
+	return in.computeFaultEvidence(id)
 }
 
-// faultEvidence is the recursive core of FaultEvidence; memoMu must be
-// held.
-func (in *Interner) faultEvidence(id ID) types.ProcSet {
-	if in.faultEvOK[id] {
-		return in.faultEv[id]
-	}
+// computeFaultEvidence fills the FaultEvidence memo for a cold entry;
+// no lock is held across the recursion.
+func (in *Interner) computeFaultEvidence(id ID) types.ProcSet {
 	nd := in.node(id)
 	var s types.ProcSet
 	if nd.from != nil {
@@ -315,11 +331,13 @@ func (in *Interner) faultEvidence(id ID) types.ProcSet {
 				s = s.Add(types.ProcID(j))
 				continue
 			}
-			s = s.Union(in.faultEvidence(ch))
+			s = s.Union(in.FaultEvidence(ch))
 		}
 	}
-	in.faultEvOK[id] = true
+	in.memoMu.Lock()
 	in.faultEv[id] = s
+	in.faultEvOK[id] = true
+	in.memoMu.Unlock()
 	return s
 }
 
@@ -334,18 +352,26 @@ func (in *Interner) faultEvidence(id ID) types.ProcSet {
 // message from i_k at round k"); acceptance at time u corresponds to
 // being the (u+1)-st element, the alignment used in the proof of
 // Proposition 6.4.
-// memoMu must be held.
 func (in *Interner) acceptances(id ID) []types.ProcSet {
-	if in.acceptOK[id] {
-		return in.acceptSets[id]
+	in.memoMu.RLock()
+	ok, out := in.acceptOK[id], in.acceptSets[id]
+	in.memoMu.RUnlock()
+	if ok {
+		return out
 	}
+	return in.computeAcceptances(id)
+}
+
+// computeAcceptances fills the acceptance memo for a cold entry; no
+// lock is held across the recursion.
+func (in *Interner) computeAcceptances(id ID) []types.ProcSet {
 	nd := in.node(id)
 	var out []types.ProcSet
 	if nd.time == 0 {
 		if nd.initial == types.Zero {
 			out = append(out, types.Singleton(nd.proc))
 		}
-	} else if ev := in.faultEvidence(id); !ev.Contains(nd.proc) {
+	} else if ev := in.FaultEvidence(id); !ev.Contains(nd.proc) {
 		// If the owner knows itself faulty, B^N is vacuous, so the
 		// chain condition ¬B^N_p(j ∉ 𝒩) fails for every sender and no
 		// hop extends here. (A nonfaulty processor never reaches this
@@ -373,16 +399,16 @@ func (in *Interner) acceptances(id ID) []types.ProcSet {
 			}
 		}
 	}
-	in.acceptOK[id] = true
+	in.memoMu.Lock()
 	in.acceptSets[id] = out
+	in.acceptOK[id] = true
+	in.memoMu.Unlock()
 	return out
 }
 
 // AcceptsZeroAt reports whether the view's owner accepts 0 at exactly
 // the view's time.
 func (in *Interner) AcceptsZeroAt(id ID) bool {
-	in.memoMu.Lock()
-	defer in.memoMu.Unlock()
 	return len(in.acceptances(id)) > 0
 }
 
@@ -394,28 +420,31 @@ func (in *Interner) AcceptsZeroAt(id ID) bool {
 // endpoint (relayed stale chains end in processors the owner cannot
 // know to be nonfaulty).
 func (in *Interner) BelievesExistsZeroStar(id ID) bool {
-	in.memoMu.Lock()
-	defer in.memoMu.Unlock()
-	return in.believesExistsZeroStar(id)
-}
-
-// believesExistsZeroStar is the recursive core of
-// BelievesExistsZeroStar; memoMu must be held.
-func (in *Interner) believesExistsZeroStar(id ID) bool {
-	if m := in.believes0s[id]; m != 0 {
+	in.memoMu.RLock()
+	m := in.believes0s[id]
+	in.memoMu.RUnlock()
+	if m != 0 {
 		return m == 2
 	}
+	return in.computeBelievesExistsZeroStar(id)
+}
+
+// computeBelievesExistsZeroStar fills the ∃0* memo for a cold entry;
+// no lock is held across the recursion.
+func (in *Interner) computeBelievesExistsZeroStar(id ID) bool {
 	res := len(in.acceptances(id)) > 0
 	if !res {
 		if prev := in.Prev(id); prev != NoView {
-			res = in.believesExistsZeroStar(prev)
+			res = in.BelievesExistsZeroStar(prev)
 		}
 	}
+	mark := int8(1)
 	if res {
-		in.believes0s[id] = 2
-	} else {
-		in.believes0s[id] = 1
+		mark = 2
 	}
+	in.memoMu.Lock()
+	in.believes0s[id] = mark
+	in.memoMu.Unlock()
 	return res
 }
 

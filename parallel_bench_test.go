@@ -1,0 +1,129 @@
+package eba_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	eba "github.com/eventual-agreement/eba"
+	"github.com/eventual-agreement/eba/internal/store"
+)
+
+// parallelBenchKeys are the acceptance workloads for the parallel cold
+// path: the two largest exhaustive adversaries the repo enumerates.
+func parallelBenchKeys() []eba.StoreKey {
+	return []eba.StoreKey{
+		{N: 4, T: 2, Mode: eba.Crash, Horizon: 4},
+		{N: 4, T: 2, Mode: eba.Omission, Horizon: 2},
+	}
+}
+
+// BenchmarkColdEnumerateSequential is the 1-worker baseline on the
+// omission acceptance workload.
+func BenchmarkColdEnumerateSequential(b *testing.B) {
+	key := eba.StoreKey{N: 4, T: 2, Mode: eba.Omission, Horizon: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := eba.NewSystemParallel(eba.Params{N: key.N, T: key.T}, key.Mode, key.Horizon, key.Limit, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdEnumerateParallel is the all-cores build of the same
+// workload; compare against BenchmarkColdEnumerateSequential.
+func BenchmarkColdEnumerateParallel(b *testing.B) {
+	key := eba.StoreKey{N: 4, T: 2, Mode: eba.Omission, Horizon: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := eba.NewSystemParallel(eba.Params{N: key.N, T: key.T}, key.Mode, key.Horizon, key.Limit, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestParallelColdSpeedup is the PR's acceptance measurement: the
+// parallel cold enumeration of the n=4 t=2 workloads, against the
+// 1-worker baseline, with the determinism pin asserted on every pair —
+// the parallel snapshot digest must be byte-identical to the
+// sequential one. The ≥2× speedup floor applies only on machines with
+// at least 4 CPUs (single-core runners can only measure the merge
+// overhead); the measured numbers are always reported, and written to
+// BENCH_PARALLEL_OUT for the BENCH_parallel.json artifact.
+func TestParallelColdSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; skipped in -short")
+	}
+	cpus := runtime.NumCPU()
+	type row struct {
+		Workload     string  `json:"workload"`
+		Runs         int     `json:"runs"`
+		Points       int     `json:"points"`
+		Views        int     `json:"views"`
+		SequentialNS int64   `json:"sequential_ns"`
+		ParallelNS   int64   `json:"parallel_ns"`
+		Speedup      float64 `json:"speedup"`
+		Digest       string  `json:"digest"`
+	}
+	var rows []row
+	for _, key := range parallelBenchKeys() {
+		params := eba.Params{N: key.N, T: key.T}
+
+		start := time.Now()
+		seq, err := eba.NewSystemParallel(params, key.Mode, key.Horizon, key.Limit, 1)
+		seqT := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start = time.Now()
+		par, err := eba.NewSystemParallel(params, key.Mode, key.Horizon, key.Limit, 0)
+		parT := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Determinism pin: identical snapshot bytes, not just counts.
+		seqData, err := store.EncodeSystem(key, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parData, err := store.EncodeSystem(key, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqDigest, parDigest := store.Digest(seqData), store.Digest(parData)
+		if seqDigest != parDigest {
+			t.Fatalf("%s: parallel digest %s != sequential %s", key, parDigest, seqDigest)
+		}
+
+		speedup := float64(seqT) / float64(parT)
+		t.Logf("%s: sequential %v, parallel %v (%d cpus), speedup %.2f×, digest %s",
+			key, seqT, parT, cpus, speedup, seqDigest[:16])
+		rows = append(rows, row{
+			Workload: key.String(), Runs: seq.NumRuns(), Points: seq.NumPoints(),
+			Views: seq.Interner.Size(), SequentialNS: seqT.Nanoseconds(),
+			ParallelNS: parT.Nanoseconds(), Speedup: speedup, Digest: seqDigest,
+		})
+
+		if cpus >= 4 && key.Mode == eba.Omission && speedup < 2.0 {
+			t.Errorf("%s: parallel speedup %.2f× below the 2× floor on a %d-cpu machine", key, speedup, cpus)
+		}
+	}
+
+	if out := os.Getenv("BENCH_PARALLEL_OUT"); out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"cpus":           cpus,
+			"speedup_floor":  2.0,
+			"floor_enforced": cpus >= 4,
+			"determinism":    "parallel snapshot digest asserted byte-identical to sequential",
+			"workloads":      rows,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			t.Fatalf("write %s: %v", out, err)
+		}
+	}
+}
