@@ -48,6 +48,7 @@ import (
 
 	"github.com/eventual-agreement/eba/internal/byzantine"
 	"github.com/eventual-agreement/eba/internal/chaos"
+	"github.com/eventual-agreement/eba/internal/conform"
 	"github.com/eventual-agreement/eba/internal/core"
 	"github.com/eventual-agreement/eba/internal/failures"
 	"github.com/eventual-agreement/eba/internal/fip"
@@ -664,3 +665,26 @@ func SBAOutcomes(e *Evaluator) []SBAOutcome { return sba.CommonKnowledgeOutcomes
 // CheckSBAOutcomes verifies decision and validity for per-run
 // simultaneous outcomes.
 func CheckSBAOutcomes(sys *System, outs []SBAOutcome) error { return sba.CheckOutcomes(sys, outs) }
+
+// The conformance harness (cmd/ebaconform).
+
+// ConformOptions configures a randomized conformance run; see the
+// conform package for the three pillars (differential, laws, oracle).
+type ConformOptions = conform.Options
+
+// ConformResult summarizes a conformance run.
+type ConformResult = conform.Result
+
+// ConformViolation is one failed check — also the JSONL corpus record
+// format; its Seed field replays the scenario alone.
+type ConformViolation = conform.Violation
+
+// RunConformance executes seeded scenarios across the live runtime,
+// the deterministic engine, and the query engine, machine-checking
+// the paper's epistemic laws and the Theorem 5.3 optimality oracle on
+// every generated system.
+func RunConformance(opts ConformOptions) (*ConformResult, error) { return conform.Run(opts) }
+
+// ReadConformCorpus parses a JSONL failure corpus written by a
+// conformance run.
+func ReadConformCorpus(path string) ([]ConformViolation, error) { return conform.ReadCorpus(path) }

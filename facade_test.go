@@ -132,3 +132,24 @@ type countObs struct{ onMsg func() }
 func (o countObs) RoundBegin(eba.Round)                            {}
 func (o countObs) Message(eba.Round, eba.ProcID, eba.ProcID, bool) { o.onMsg() }
 func (o countObs) Decide(eba.Round, eba.ProcID, eba.Value)         {}
+
+// TestFacadeConformance runs a one-scenario conformance pass through
+// the public API and checks the corpus reader round-trips records.
+func TestFacadeConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-runtime scenario; skipped in -short")
+	}
+	res, err := eba.RunConformance(eba.ConformOptions{Seed: 2, Count: 1, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations through facade: %+v", res.Violations)
+	}
+	if res.Scenarios != 1 || res.Checks == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if _, err := eba.ReadConformCorpus("does-not-exist.jsonl"); err == nil {
+		t.Fatal("expected error reading a missing corpus")
+	}
+}

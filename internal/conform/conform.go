@@ -1,0 +1,311 @@
+package conform
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/service"
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/telemetry"
+)
+
+// systemEnumerate builds the scenario's exhaustive system with the
+// sequential builder — the ground truth the parallel builder and the
+// store snapshot are compared against.
+func systemEnumerate(sc Scenario) (*system.System, error) {
+	return system.Enumerate(sc.Params(), sc.Mode, sc.Horizon, sc.Key().Limit)
+}
+
+// Test-only mutants: each one injects a specific falsehood into one
+// pillar so the harness can prove it would catch a real violation of
+// that kind. They exist for the harness's own tests and for manual
+// sanity runs (`ebaconform -mutant law`); production runs leave
+// Options.Mutant empty.
+const (
+	// MutantLaw adds a false epistemic law (E_S φ → C_S φ) to the
+	// catalog; it fails on every generated system.
+	MutantLaw = "law"
+	// MutantOracle presents the unoptimized input protocol FΛ as the
+	// output of the two-step construction; FΛ never decides, so the
+	// Thm 5.3 oracle rejects it on every system.
+	MutantOracle = "oracle"
+	// MutantDifferential perturbs the live trace's decisions before
+	// the replay comparison, so sim.DiffTraces reports a divergence.
+	MutantDifferential = "differential"
+)
+
+// Mutants lists the accepted Options.Mutant values.
+var Mutants = []string{MutantLaw, MutantOracle, MutantDifferential}
+
+// Options configures a conformance run.
+type Options struct {
+	// Seed is the base seed; scenario i uses seed Seed+i, so a corpus
+	// record's seed replays alone with {Seed: thatSeed, Count: 1}.
+	Seed int64
+	// Count is the number of scenarios (default 100).
+	Count int
+	// Budget bounds wall-clock time; once exceeded, no new scenarios
+	// start and the result is marked truncated. 0 = no budget.
+	Budget time.Duration
+	// Parallel is the number of scenarios in flight (default
+	// min(4, GOMAXPROCS); live TCP runs are deadline-sensitive, so the
+	// default stays modest even on wide machines).
+	Parallel int
+	// Deadline is the live runtime's per-round receive deadline
+	// (default 200ms, doubled on reconstruction retries).
+	Deadline time.Duration
+	// CacheDir is the snapshot store directory; empty uses a
+	// throwaway temp dir (removed when the run ends).
+	CacheDir string
+	// Corpus, when non-empty, is the JSONL file violations are
+	// appended to.
+	Corpus string
+	// Mutant injects a test-only fault (see the Mutant* constants).
+	Mutant string
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Result summarizes a conformance run.
+type Result struct {
+	Scenarios  int           // scenarios executed
+	Skipped    int           // scenarios not started (budget exhausted)
+	Keys       int           // distinct system keys exercised
+	Checks     int           // individual assertions evaluated
+	Violations []Violation   // all violations, in scenario order
+	Truncated  bool          // true when the budget cut the run short
+	Elapsed    time.Duration `json:"-"`
+}
+
+// Violation is one failed conformance check; it is the JSONL corpus
+// record format. Seed alone replays it.
+type Violation struct {
+	Seed    int64  `json:"seed"`
+	N       int    `json:"n"`
+	T       int    `json:"t"`
+	Mode    string `json:"mode"`
+	Horizon int    `json:"horizon"`
+	Config  string `json:"config"`
+	Pillar  string `json:"pillar"` // differential | law | oracle
+	Law     string `json:"law"`    // which check failed
+	Detail  string `json:"detail"` // counterexample / diff text
+	Replay  string `json:"replay"` // command line reproducing it
+}
+
+var (
+	mScenarios  = telemetry.Default().Counter("eba_conform_scenarios_total")
+	mChecks     = telemetry.Default().Counter("eba_conform_checks_total")
+	mViolations = telemetry.Default().Counter("eba_conform_violations_total")
+	mRetries    = telemetry.Default().Counter("eba_conform_live_retries_total")
+)
+
+// violationOf stamps a failed check with its scenario's coordinates.
+func violationOf(sc Scenario, pillar, law, detail string) Violation {
+	return Violation{
+		Seed:    sc.Seed,
+		N:       sc.N,
+		T:       sc.T,
+		Mode:    sc.Mode.String(),
+		Horizon: sc.Horizon,
+		Config:  sc.Config.String(),
+		Pillar:  pillar,
+		Law:     law,
+		Detail:  detail,
+		Replay:  fmt.Sprintf("ebaconform -seed %d -count 1", sc.Seed),
+	}
+}
+
+// keyReport caches the per-system-key pillars (laws + oracle): many
+// scenarios share a key, and those pillars depend only on the key, so
+// each key is checked once, by the first scenario that reaches it.
+type keyReport struct {
+	once       sync.Once
+	violations []Violation
+	checks     int
+
+	claimMu sync.Mutex
+	claimed bool
+}
+
+// claim marks the report as consumed, so its violations and check
+// counts enter the result exactly once even though every scenario
+// sharing the key observes the same report.
+func (rep *keyReport) claim() bool {
+	rep.claimMu.Lock()
+	defer rep.claimMu.Unlock()
+	if rep.claimed {
+		return false
+	}
+	rep.claimed = true
+	return true
+}
+
+// Runner executes scenarios against one shared store and engine.
+type Runner struct {
+	opts   Options
+	store  *store.Store
+	engine *service.Engine
+
+	mu   sync.Mutex
+	keys map[store.Key]*keyReport
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.opts.Log != nil {
+		fmt.Fprintf(r.opts.Log, format+"\n", args...)
+	}
+}
+
+// keyChecks runs the law and oracle pillars for sc's key exactly once
+// per key and returns the cached report.
+func (r *Runner) keyChecks(sc Scenario) *keyReport {
+	key := sc.Key()
+	r.mu.Lock()
+	rep := r.keys[key]
+	if rep == nil {
+		rep = &keyReport{}
+		r.keys[key] = rep
+	}
+	r.mu.Unlock()
+	rep.once.Do(func() {
+		r.logf("key %s: checking laws + oracle (first scenario %s)", key.Slug(), sc.Desc())
+		seq, err := systemEnumerate(sc)
+		if err != nil {
+			rep.violations = []Violation{violationOf(sc, "law", "enumerate", err.Error())}
+			rep.checks = 1
+			return
+		}
+		ev := knowledge.NewEvaluator(seq)
+		lv, lc := r.checkLaws(sc, seq, ev)
+		ov, oc := checkOracle(sc, seq, ev, r.opts.Mutant)
+		rep.violations = append(lv, ov...)
+		rep.checks = lc + oc
+	})
+	return rep
+}
+
+// Run executes a full conformance pass.
+func Run(opts Options) (*Result, error) {
+	if opts.Count <= 0 {
+		opts.Count = 100
+	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = runtime.GOMAXPROCS(0)
+		if opts.Parallel > 4 {
+			opts.Parallel = 4
+		}
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = 200 * time.Millisecond
+	}
+	switch opts.Mutant {
+	case "", MutantLaw, MutantOracle, MutantDifferential:
+	default:
+		return nil, fmt.Errorf("conform: unknown mutant %q (want %v)", opts.Mutant, Mutants)
+	}
+
+	dir := opts.CacheDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ebaconform-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	st, err := store.Open(dir, 8)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		opts:   opts,
+		store:  st,
+		engine: service.NewEngine(st, 0),
+		keys:   make(map[store.Key]*keyReport),
+	}
+
+	start := time.Now()
+	type outcome struct {
+		idx        int
+		violations []Violation
+		checks     int
+		skipped    bool
+	}
+	results := make([]outcome, opts.Count)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < opts.Count; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if opts.Budget > 0 && time.Since(start) > opts.Budget {
+					results[i] = outcome{idx: i, skipped: true}
+					continue
+				}
+				sc := NewScenario(opts.Seed + int64(i))
+				mScenarios.Inc()
+				var vs []Violation
+				checks := 0
+
+				dv, dc := r.runDifferential(sc)
+				vs, checks = append(vs, dv...), checks+dc
+
+				rep := r.keyChecks(sc)
+				// Key-level violations are attributed to the scenario
+				// that computed them (inside keyChecks); only count
+				// them once, here, via pointer identity of the report.
+				if rep.claim() {
+					vs = append(vs, rep.violations...)
+					checks += rep.checks
+				}
+				for _, v := range vs {
+					r.logf("VIOLATION %s %s/%s: %s", sc.Desc(), v.Pillar, v.Law, v.Detail)
+					telemetry.Emit("conform.violation",
+						telemetry.L("pillar", v.Pillar),
+						telemetry.L("law", v.Law),
+						telemetry.L("seed", fmt.Sprint(v.Seed)))
+					mViolations.Inc()
+				}
+				mChecks.Add(uint64(checks))
+				results[i] = outcome{idx: i, violations: vs, checks: checks}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{Elapsed: time.Since(start)}
+	for _, out := range results {
+		if out.skipped {
+			res.Skipped++
+			continue
+		}
+		res.Scenarios++
+		res.Checks += out.checks
+		res.Violations = append(res.Violations, out.violations...)
+	}
+	res.Truncated = res.Skipped > 0
+	res.Keys = len(r.keys)
+	if res.Truncated {
+		r.logf("budget exhausted after %v: %d of %d scenarios skipped", opts.Budget, res.Skipped, opts.Count)
+	}
+	if opts.Corpus != "" && len(res.Violations) > 0 {
+		if err := AppendCorpus(opts.Corpus, res.Violations); err != nil {
+			return res, fmt.Errorf("conform: writing corpus: %w", err)
+		}
+		r.logf("wrote %d corpus record(s) to %s", len(res.Violations), opts.Corpus)
+	}
+	return res, nil
+}

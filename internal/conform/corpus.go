@@ -1,0 +1,58 @@
+package conform
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// AppendCorpus appends violations to a JSONL corpus file, one record
+// per line, creating the file (and leaving earlier records intact) as
+// needed. Each record's Seed field replays the failing scenario alone:
+//
+//	ebaconform -seed <seed> -count 1
+func AppendCorpus(path string, vs []Violation) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, v := range vs {
+		if err := enc.Encode(v); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCorpus parses a JSONL corpus file written by AppendCorpus.
+func ReadCorpus(path string) ([]Violation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Violation
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var v Violation
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			return nil, fmt.Errorf("corpus %s line %d: %w", path, line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}

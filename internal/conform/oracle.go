@@ -1,0 +1,79 @@
+package conform
+
+import (
+	"github.com/eventual-agreement/eba/internal/core"
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/protocols"
+	"github.com/eventual-agreement/eba/internal/system"
+)
+
+// checkOracle runs the oracle-conformance pillar for sc's system key:
+// the two-step construction of Prop 5.1 / Thm 5.2, applied to seed
+// protocols, must produce pairs that pass the Thm 5.3 optimality
+// oracle, dominate their input, satisfy the agreement properties, and
+// be fixed points of the construction.
+func checkOracle(sc Scenario, seq *system.System, ev *knowledge.Evaluator, mutant string) (vs []Violation, checks int) {
+	// FΛ — the never-deciding protocol — is the paper's canonical seed:
+	// its optimization is the earliest-possible-decision protocol.
+	flam := fip.Pair{Name: "FΛ", Z: fip.Empty("FΛ.Z"), O: fip.Empty("FΛ.O")}
+	v1, c1 := oracleLegs(sc, seq, ev, "FΛ", flam, mutant == MutantOracle)
+	vs, checks = append(vs, v1...), checks+c1
+
+	// In crash mode, also optimize the paper's P0 (decide 0 on seeing a
+	// 0; decide 1 at time t+1 otherwise) — a protocol that actually
+	// decides, so domination is non-vacuous. P0's 1-decision lands at
+	// time t+1, so the leg needs the horizon to reach it.
+	if sc.Mode == failures.Crash && sc.Horizon >= sc.T+1 {
+		p0 := protocols.P0Pair(sc.T)
+		v2, c2 := oracleLegs(sc, seq, ev, "P0", p0, false)
+		vs, checks = append(vs, v2...), checks+c2
+		checks++
+		if err := core.CheckEBA(seq, core.TwoStep(ev, p0)); err != nil {
+			vs = append(vs, violationOf(sc, "oracle", "eba:P0''", err.Error()))
+		}
+	}
+	return vs, checks
+}
+
+// oracleLegs applies the two-step construction to seed and checks the
+// output against every Thm 5.2 / Thm 5.3 claim. With mutant set, the
+// unoptimized seed itself is presented as the construction's output —
+// the oracle must reject it.
+func oracleLegs(sc Scenario, seq *system.System, ev *knowledge.Evaluator, name string, seed fip.Pair, mutant bool) (vs []Violation, checks int) {
+	fail := func(law, detail string) {
+		vs = append(vs, violationOf(sc, "oracle", law+":"+name, detail))
+	}
+	out := core.TwoStep(ev, seed)
+	if mutant {
+		out = seed
+	}
+	checks++
+	if ok, cex := core.IsOptimal(ev, out); !ok {
+		fail("optimal", cex)
+	}
+	checks++
+	if !core.Dominates(seq, out, seed) {
+		fail("dominates", "two-step output does not dominate its input")
+	}
+	checks++
+	if err := core.CheckWeakAgreement(seq, out); err != nil {
+		fail("weak-agreement", err.Error())
+	}
+	checks++
+	if err := core.CheckWeakValidity(seq, out); err != nil {
+		fail("weak-validity", err.Error())
+	}
+	checks++
+	if err := fip.Monotone(seq, out); err != nil {
+		fail("monotone", err.Error())
+	}
+	// Thm 5.2 makes the construction idempotent: optimizing an optimum
+	// changes nothing on any nonfaulty decision.
+	checks++
+	if !core.EqualOn(seq, out, core.TwoStep(ev, out)) {
+		fail("fixed-point", "two-step applied to its own output changes decisions")
+	}
+	return vs, checks
+}

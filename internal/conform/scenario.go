@@ -1,0 +1,126 @@
+// Package conform is the randomized conformance harness: it generates
+// seeded scenarios (system parameters, an initial configuration, and a
+// chaos fault plan) and checks, on every one, that the repository's
+// three runtimes agree and that the paper's logical laws hold.
+//
+// The three pillars, in the order a scenario passes through them:
+//
+//  1. Differential: the scenario's protocol runs on the live resilient
+//     TCP runtime under the chaos plan; the reconstructed fault
+//     pattern is replayed on the deterministic sim engine (traces must
+//     be identical, sim.DiffTraces); and the decisions the knowledge
+//     layer prescribes for the reconstructed run — looked up in the
+//     store-backed enumerated system — must match the live decisions
+//     processor for processor.
+//  2. Metamorphic / property-based: a catalog of epistemic laws
+//     (operator containments, fixed-point characterizations of
+//     Prop 3.2 / Cor 3.3, monotonicity of C□ under run restriction,
+//     sequential-vs-parallel digest equality, and codec round-trips)
+//     is machine-checked over the scenario's exhaustive system, both
+//     with a direct evaluator and — for a signature subset — through
+//     the service query engine over a store snapshot, asserting the
+//     two agree point count for point count.
+//  3. Oracle conformance: the two-step optimization construction of
+//     Prop 5.1 / Thm 5.2 is applied to seed protocols and its output
+//     must pass the Thm 5.3 optimality oracle, dominate its input, and
+//     be a fixed point of the construction.
+//
+// Violations are emitted as JSONL corpus records carrying the
+// scenario's seed, so any failure replays exactly with
+// `ebaconform -seed <seed> -count 1`.
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/protocols"
+	"github.com/eventual-agreement/eba/internal/service"
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// Scenario is one seeded conformance case. Everything below is a pure
+// function of Seed, so a scenario replays from its seed alone.
+type Scenario struct {
+	Seed    int64
+	N, T    int
+	Mode    failures.Mode
+	Horizon int
+	Config  types.Config
+	// ChaosSeed seeds the chaos plan of the differential pillar; it is
+	// drawn from the scenario RNG so distinct scenarios sharing a
+	// system key still exercise distinct fault plans.
+	ChaosSeed int64
+}
+
+// NewScenario derives the scenario for a seed. The parameter space is
+// bounded so every scenario's exhaustive system enumerates in memory:
+// n in 2..4, t in 0..2, horizons 2..3, with the omission mode capped
+// where its pattern count explodes ((2^(n-1))^h per faulty processor).
+func NewScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(3)
+	mode := failures.Crash
+	if rng.Intn(2) == 1 {
+		mode = failures.Omission
+	}
+	maxT := n - 1
+	if maxT > 2 {
+		maxT = 2
+	}
+	if mode == failures.Omission && n == 4 {
+		maxT = 1
+	}
+	t := rng.Intn(maxT + 1)
+	h := 2
+	switch {
+	case mode == failures.Crash && !(n == 4 && t == 2):
+		h = 2 + rng.Intn(2)
+	case mode == failures.Omission && n <= 3 && t <= 1:
+		h = 2 + rng.Intn(2)
+	}
+	cfg := types.ConfigFromBits(n, rng.Uint64()&((1<<uint(n))-1))
+	return Scenario{
+		Seed:      seed,
+		N:         n,
+		T:         t,
+		Mode:      mode,
+		Horizon:   h,
+		Config:    cfg,
+		ChaosSeed: rng.Int63(),
+	}
+}
+
+// Params returns the scenario's (n, t).
+func (s Scenario) Params() types.Params { return types.Params{N: s.N, T: s.T} }
+
+// Key is the store key of the scenario's exhaustive system. Omission
+// keys carry the service layer's default limit so harness checks and
+// engine queries share one snapshot; under the generator's caps the
+// limit is far above the true pattern count, so the enumeration is
+// exhaustive either way.
+func (s Scenario) Key() store.Key {
+	k := store.Key{N: s.N, T: s.T, Mode: s.Mode, Horizon: s.Horizon}
+	if s.Mode == failures.Omission {
+		k.Limit = service.DefaultOmissionLimit
+	}
+	return k
+}
+
+// Pair is the decision pair the differential pillar runs live: the
+// mode's concrete protocol from the paper, in predicate-backed form so
+// the wire adapter can run it (P0opt for crash, Chain0 for omission).
+func (s Scenario) Pair() fip.Pair {
+	if s.Mode == failures.Crash {
+		return protocols.P0OptPair()
+	}
+	return protocols.Chain0SyntacticPair()
+}
+
+// Desc renders the scenario compactly for logs and corpus records.
+func (s Scenario) Desc() string {
+	return fmt.Sprintf("seed=%d %s n=%d t=%d h=%d cfg=%s", s.Seed, s.Mode, s.N, s.T, s.Horizon, s.Config)
+}

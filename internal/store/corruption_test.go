@@ -1,0 +1,114 @@
+package store
+
+import (
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// corruptions enumerates the disk-corruption shapes the store must
+// survive: each one makes the snapshot undecodable in a different way
+// (mid-payload flip is covered by TestCorruptSnapshotFallsBackToEnumeration).
+var corruptions = []struct {
+	name    string
+	corrupt func([]byte) []byte
+}{
+	{"truncated-trailer", func(data []byte) []byte {
+		// Cut into the sha256 trailer so the file is shorter than its
+		// framing promises.
+		return data[:len(data)-digestLen/2]
+	}},
+	{"flipped-sha-byte", func(data []byte) []byte {
+		out := append([]byte(nil), data...)
+		out[len(out)-1] ^= 0xff
+		return out
+	}},
+	{"version-skew", func(data []byte) []byte {
+		// Bump the version varint (offset = len(magic), value 1 → one
+		// byte) and recompute the trailer, so the checksum passes and
+		// the decoder must reject on the version check itself.
+		out := append([]byte(nil), data...)
+		out[len(snapMagic)] = snapVersion + 1
+		sum := sha256.Sum256(out[:len(out)-digestLen])
+		copy(out[len(out)-digestLen:], sum[:])
+		return out
+	}},
+}
+
+// TestCorruptionFallsBackWithoutPoisoning checks every corruption
+// shape against the full recovery contract: concurrent loads collapse
+// into one re-enumeration (singleflight intact), the result enters the
+// LRU as a healthy entry (later hits are memory hits), and the
+// snapshot is rewritten so the next process warm-loads from disk.
+func TestCorruptionFallsBackWithoutPoisoning(t *testing.T) {
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			key := testKey()
+			s1, _ := countingStore(t, dir, 4)
+			if _, _, err := s1.System(key); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, "systems", key.Slug()+".eba")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := DecodeSystem(tc.corrupt(data)); err == nil {
+				t.Fatal("corruption did not make the snapshot undecodable")
+			}
+
+			s2, count := countingStore(t, dir, 4)
+			var wg sync.WaitGroup
+			errs := make([]error, 8)
+			origins := make([]Origin, 8)
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, origins[i], errs[i] = s2.System(key)
+				}(i)
+			}
+			wg.Wait()
+			for i := range errs {
+				if errs[i] != nil {
+					t.Fatalf("load %d: %v", i, errs[i])
+				}
+				if origins[i] != OriginEnumerated && origins[i] != OriginShared && origins[i] != OriginMemory {
+					t.Fatalf("load %d: origin %v after corruption", i, origins[i])
+				}
+			}
+			if got := count.Load(); got != 1 {
+				t.Fatalf("singleflight poisoned: %d enumerations for 8 concurrent loads", got)
+			}
+			if s2.Stats().DiskErrors == 0 {
+				t.Fatal("disk error not recorded")
+			}
+			// The LRU holds a healthy entry now: no more enumerations,
+			// no disk reads.
+			if _, origin, err := s2.System(key); err != nil || origin != OriginMemory {
+				t.Fatalf("post-recovery load: origin %v err %v, want memory hit", origin, err)
+			}
+			if got := count.Load(); got != 1 {
+				t.Fatalf("LRU poisoned: %d enumerations after recovery", got)
+			}
+			// The snapshot was rewritten in place and decodes cleanly.
+			rewritten, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := DecodeSystem(rewritten); err != nil {
+				t.Fatalf("rewritten snapshot does not decode: %v", err)
+			}
+			s3, count3 := countingStore(t, dir, 4)
+			if _, origin, err := s3.System(key); err != nil || origin != OriginDisk || count3.Load() != 0 {
+				t.Fatalf("rewritten snapshot not warm-loadable: origin %v err %v", origin, err)
+			}
+		})
+	}
+}

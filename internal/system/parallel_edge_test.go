@@ -1,0 +1,141 @@
+package system_test
+
+// External test package so the digest comparisons can go through
+// store.EncodeSystem (store imports system, so these tests cannot live
+// in the internal test package).
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// encode renders a system to its canonical snapshot bytes; byte
+// equality here is the strongest determinism statement the repo has.
+func encode(t *testing.T, sys *system.System, mode failures.Mode, limit int) []byte {
+	t.Helper()
+	key := store.Key{N: sys.Params.N, T: sys.Params.T, Mode: mode, Horizon: sys.Horizon, Limit: limit}
+	data, err := store.EncodeSystem(key, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestEnumerateParallelMatchesSequentialEdges drives the parallel
+// builder through its boundary conditions and asserts byte-identical
+// snapshots against the sequential builder in each.
+func TestEnumerateParallelMatchesSequentialEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		params  types.Params
+		mode    failures.Mode
+		horizon int
+		limit   int
+		workers int
+	}{
+		{"t0-crash", types.Params{N: 3, T: 0}, failures.Crash, 2, 0, 4},
+		{"t0-omission", types.Params{N: 3, T: 0}, failures.Omission, 2, 0, 4},
+		{"workers-gt-items", types.Params{N: 2, T: 1}, failures.Crash, 2, 0, 1000},
+		{"single-worker", types.Params{N: 3, T: 1}, failures.Omission, 2, 0, 1},
+		{"omission-roomy-limit", types.Params{N: 3, T: 1}, failures.Omission, 2, 1000, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := system.Enumerate(tc.params, tc.mode, tc.horizon, tc.limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := system.EnumerateParallel(tc.params, tc.mode, tc.horizon, tc.limit, tc.workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := encode(t, seq, tc.mode, tc.limit), encode(t, par, tc.mode, tc.limit)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("parallel snapshot differs: %s vs %s", store.Digest(a), store.Digest(b))
+			}
+			if tc.params.T == 0 && seq.NumRuns() != 1<<uint(tc.params.N) {
+				t.Fatalf("t=0 should enumerate only the failure-free pattern: %d runs", seq.NumRuns())
+			}
+		})
+	}
+}
+
+// TestEnumerateParallelOmissionLimitBoundary pins the limit semantics
+// at the boundary: a limit is a guard, not a truncation — limit ==
+// pattern count succeeds and is byte-identical to unlimited, while
+// limit == count-1 aborts with the same error on both builders.
+func TestEnumerateParallelOmissionLimitBoundary(t *testing.T) {
+	params := types.Params{N: 3, T: 1}
+	const horizon = 2
+	full, err := system.Enumerate(params, failures.Omission, horizon, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nconfigs := 1 << uint(params.N)
+	patterns := full.NumRuns() / nconfigs
+
+	// Limit at exactly the pattern count: same system as unlimited.
+	seq, err := system.Enumerate(params, failures.Omission, horizon, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := system.EnumerateParallel(params, failures.Omission, horizon, patterns, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumRuns() != full.NumRuns() || par.NumRuns() != full.NumRuns() {
+		t.Fatalf("limit==count: %d/%d runs, unlimited: %d", seq.NumRuns(), par.NumRuns(), full.NumRuns())
+	}
+	a := encode(t, seq, failures.Omission, patterns)
+	b := encode(t, par, failures.Omission, patterns)
+	if !bytes.Equal(a, b) {
+		t.Fatal("limit==count: parallel snapshot differs from sequential")
+	}
+
+	// One below the count: both builders refuse identically rather
+	// than silently returning a partial adversary class.
+	for _, limit := range []int{patterns - 1, 1} {
+		_, seqErr := system.Enumerate(params, failures.Omission, horizon, limit)
+		_, parErr := system.EnumerateParallel(params, failures.Omission, horizon, limit, 6)
+		if seqErr == nil || parErr == nil {
+			t.Fatalf("limit %d: expected both builders to abort: seq=%v par=%v", limit, seqErr, parErr)
+		}
+		if seqErr.Error() != parErr.Error() {
+			t.Fatalf("limit %d: error mismatch: seq=%q par=%q", limit, seqErr, parErr)
+		}
+	}
+}
+
+// TestEnumerateParallelErrorParity: invalid parameters must fail the
+// same way on both builders — in particular n=1, which the paper's
+// model excludes (no one to agree with), and negative limits.
+func TestEnumerateParallelErrorParity(t *testing.T) {
+	bad := []struct {
+		name    string
+		params  types.Params
+		mode    failures.Mode
+		horizon int
+		limit   int
+	}{
+		{"n1", types.Params{N: 1, T: 0}, failures.Crash, 2, 0},
+		{"negative-limit", types.Params{N: 3, T: 1}, failures.Omission, 2, -1},
+		{"t-ge-n", types.Params{N: 2, T: 2}, failures.Crash, 2, 0},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, seqErr := system.Enumerate(tc.params, tc.mode, tc.horizon, tc.limit)
+			_, parErr := system.EnumerateParallel(tc.params, tc.mode, tc.horizon, tc.limit, 4)
+			if seqErr == nil || parErr == nil {
+				t.Fatalf("expected both builders to reject: seq=%v par=%v", seqErr, parErr)
+			}
+			if seqErr.Error() != parErr.Error() {
+				t.Fatalf("error mismatch: seq=%q par=%q", seqErr, parErr)
+			}
+		})
+	}
+}
