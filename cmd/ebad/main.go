@@ -18,6 +18,12 @@
 //
 //	ebad -load http://localhost:8080 -queries 200 -workers 8 \
 //	     -f 'Cbox E0 -> C E0' -f 'C E0 -> Cbox E0'
+//
+// Overload-experiment mode (ramp offered QPS past the daemon's
+// admission capacity and measure shedding, goodput, and recovery):
+//
+//	ebad -overload http://localhost:8080 -start-qps 50 -peak-qps 2000 \
+//	     -steps 8 -step-dur 2s -bench-out BENCH_overload.json
 package main
 
 import (
@@ -58,6 +64,12 @@ func run() error {
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace for in-flight queries")
 		parallel = flag.Int("parallel", 0, "worker bound for cold enumeration and evaluation (0 = all cores, 1 = sequential)")
 
+		maxInflight  = flag.Int("max-inflight", 64, "admission: max concurrently executing queries (0 = unbounded)")
+		perKey       = flag.Int("per-key", 4, "admission: max concurrent expensive queries per system key (0 = unbounded)")
+		maxQueue     = flag.Int("max-queue", 256, "admission: max queries waiting for a slot (0 = 4x max-inflight)")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "admission: max wait for a slot before shedding 429")
+		retryAfter   = flag.Duration("retry-after", time.Second, "admission: Retry-After hint on shed responses")
+
 		load    = flag.String("load", "", "load-generator mode: base URL of a running daemon")
 		queries = flag.Int("queries", 100, "load mode: total queries to issue")
 		workers = flag.Int("workers", 8, "load mode: concurrent clients")
@@ -66,6 +78,14 @@ func run() error {
 		mode    = flag.String("mode", "crash", "load mode: crash | omission")
 		horizon = flag.Int("h", 0, "load mode: horizon (default t+2)")
 		limit   = flag.Int("limit", 0, "load mode: omission pattern limit (0 = default)")
+
+		overload = flag.String("overload", "", "overload-experiment mode: base URL of a running daemon")
+		startQPS = flag.Float64("start-qps", 50, "overload mode: offered QPS of the first ramp step")
+		peakQPS  = flag.Float64("peak-qps", 2000, "overload mode: offered QPS of the last ramp step")
+		steps    = flag.Int("steps", 8, "overload mode: ramp steps")
+		stepDur  = flag.Duration("step-dur", 2*time.Second, "overload mode: duration of each step")
+		cold     = flag.Bool("cold", true, "overload mode: make every request a distinct cold system key (cached lookups are too cheap to saturate anything)")
+		benchOut = flag.String("bench-out", "", "overload mode: also write the report to this file")
 	)
 	flag.Var(&formulas, "f", "load mode: formula to query (repeatable)")
 	tel := telemetry.BindFlags(flag.CommandLine)
@@ -75,10 +95,15 @@ func run() error {
 	}
 	defer tel.Close()
 
+	base := service.Request{N: *n, T: *t, Mode: *mode, Horizon: *horizon, Limit: *limit}
 	if *load != "" {
-		return runLoad(*load, formulas, *workers, *queries, service.Request{
-			N: *n, T: *t, Mode: *mode, Horizon: *horizon, Limit: *limit,
-		})
+		return runLoad(*load, formulas, *workers, *queries, base)
+	}
+	if *overload != "" {
+		return runOverload(*overload, formulas, base, service.OverloadConfig{
+			StartQPS: *startQPS, PeakQPS: *peakQPS, Steps: *steps, StepDur: *stepDur,
+			ColdKeys: *cold,
+		}, *benchOut)
 	}
 
 	st, err := store.Open(*cachedir, *maxMem)
@@ -88,6 +113,13 @@ func run() error {
 	eng := service.NewEngine(st, *timeout)
 	eng.SetParallelism(*parallel)
 	srv := service.NewServer(eng)
+	srv.SetAdmission(service.AdmissionConfig{
+		MaxInflight:  *maxInflight,
+		PerKey:       *perKey,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		RetryAfter:   *retryAfter,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -118,4 +150,35 @@ func runLoad(baseURL string, formulas []string, workers, total int, base service
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// runOverload ramps offered load past the daemon's capacity and prints
+// (and optionally writes) the shedding/goodput/recovery report.
+func runOverload(baseURL string, formulas []string, base service.Request, cfg service.OverloadConfig, outPath string) error {
+	if len(formulas) == 0 {
+		formulas = []string{"Cbox E0 -> C E0", "C E0 -> Cbox E0"}
+	}
+	reqs := make([]service.Request, len(formulas))
+	for i, f := range formulas {
+		reqs[i] = base
+		reqs[i].Formula = f
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := service.RunOverload(ctx, baseURL, reqs, cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	_, err = os.Stdout.Write(data)
+	return err
 }

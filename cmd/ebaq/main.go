@@ -16,6 +16,14 @@
 //	ebaq -f 'C E0 -> Cbox E0'                      # ... the converse fails
 //	ebaq -n 3 -t 1 -mode omission -f 'K0 E0 -> B0 E0'
 //	ebaq -json -cachedir /tmp/eba -f 'knows1=0 -> K1 E0'
+//
+// With -server, the query goes to a running ebad daemon instead of
+// being evaluated in-process, through the shared retrying client: 429
+// and 503 sheds are retried with backoff, honoring Retry-After, until
+// the retry budget runs out (tune with -retries/-retry-budget or the
+// EBA_RETRY_MAX/EBA_RETRY_BUDGET environment variables):
+//
+//	ebaq -server http://localhost:8080 -f 'Cbox E0 -> C E0'
 package main
 
 import (
@@ -47,26 +55,43 @@ func run() error {
 		jsonOut  = flag.Bool("json", false, "emit the query result as JSON")
 		cachedir = flag.String("cachedir", "", "snapshot store directory (empty = no persistence)")
 		parallel = flag.Int("parallel", 0, "worker bound for cold enumeration and evaluation (0 = all cores, 1 = sequential)")
+		server   = flag.String("server", "", "query a running ebad daemon at this base URL instead of evaluating in-process")
+		retries  = flag.Int("retries", -1, "server mode: max retries after the first attempt (-1 = default/EBA_RETRY_MAX)")
+		budget   = flag.Duration("retry-budget", 0, "server mode: wall-clock budget across attempts (0 = default/EBA_RETRY_BUDGET)")
 	)
 	flag.Parse()
 	if *src == "" {
 		return fmt.Errorf("missing -f formula")
 	}
-
-	st, err := store.Open(*cachedir, 0)
-	if err != nil {
-		return err
-	}
-	eng := service.NewEngine(st, 0)
-	eng.SetParallelism(*parallel)
-	resp, err := eng.Execute(context.Background(), service.Request{
+	req := service.Request{
 		Formula: *src,
 		N:       *n,
 		T:       *t,
 		Mode:    *modeName,
 		Horizon: *h,
 		Limit:   *limit,
-	})
+	}
+
+	var resp *service.Response
+	var err error
+	if *server != "" {
+		client := service.NewClient(*server)
+		if *retries >= 0 {
+			client.MaxRetries = *retries
+		}
+		if *budget > 0 {
+			client.Budget = *budget
+		}
+		resp, err = client.Query(context.Background(), req)
+	} else {
+		st, oerr := store.Open(*cachedir, 0)
+		if oerr != nil {
+			return oerr
+		}
+		eng := service.NewEngine(st, 0)
+		eng.SetParallelism(*parallel)
+		resp, err = eng.Execute(context.Background(), req)
+	}
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,7 @@
 package eba
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -51,6 +52,7 @@ import (
 	"github.com/eventual-agreement/eba/internal/conform"
 	"github.com/eventual-agreement/eba/internal/core"
 	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/faultinject"
 	"github.com/eventual-agreement/eba/internal/fip"
 	"github.com/eventual-agreement/eba/internal/knowledge"
 	"github.com/eventual-agreement/eba/internal/nettransport"
@@ -566,7 +568,43 @@ type (
 	QueryResponse = service.Response
 	// QueryServer is the ebad HTTP surface over a QueryEngine.
 	QueryServer = service.Server
+
+	// AdmissionConfig bounds what a QueryServer accepts at once: a
+	// global in-flight cap with a bounded deadline-aware wait queue,
+	// and per-key caps on expensive (non-resident) computes. Excess
+	// load sheds with 429 + Retry-After instead of degrading everyone.
+	AdmissionConfig = service.AdmissionConfig
+	// ShedError is a load-shed verdict from the admission layer.
+	ShedError = service.ShedError
+
+	// QueryClient is the retrying daemon client shared by ebaq -server,
+	// the load generator, and CI smoke: it honors Retry-After on
+	// 429/503 sheds with exponential backoff, jitter, and a retry
+	// budget.
+	QueryClient = service.Client
+
+	// FaultConfig selects deterministic, seeded service-layer faults
+	// (slow I/O, torn snapshot writes, transient store errors, stuck
+	// computes); see FaultInjector.
+	FaultConfig = faultinject.Config
+	// FaultInjector wraps the store's filesystem and cold-path
+	// enumerator with seeded faults for robustness tests.
+	FaultInjector = faultinject.Injector
+
+	// OverloadConfig shapes an overload ramp experiment against a
+	// running daemon; see RunOverload.
+	OverloadConfig = service.OverloadConfig
+	// OverloadReport is the overload experiment's outcome: shed rate,
+	// goodput, admitted-latency, and the recovery verdict.
+	OverloadReport = service.OverloadReport
 )
+
+// ErrStoreRetryable marks store errors a caller may retry fresh — a
+// singleflight follower whose leader's load failed, for example.
+var ErrStoreRetryable = store.ErrRetryable
+
+// ErrFaultInjected is the sentinel wrapped by every injected fault.
+var ErrFaultInjected = faultinject.ErrInjected
 
 // OpenStore opens a snapshot store rooted at dir ("" = memory-only);
 // maxMem bounds resident systems (<= 0 picks the default).
@@ -580,6 +618,22 @@ func NewQueryEngine(st *SystemStore, timeout time.Duration) *QueryEngine {
 
 // NewQueryServer builds the daemon's HTTP handler set over an engine.
 func NewQueryServer(e *QueryEngine) *QueryServer { return service.NewServer(e) }
+
+// NewQueryClient builds a retrying daemon client with the default
+// retry policy plus the EBA_RETRY_MAX / EBA_RETRY_BUDGET environment
+// overrides.
+func NewQueryClient(baseURL string) *QueryClient { return service.NewClient(baseURL) }
+
+// NewFaultInjector builds a seeded fault injector; a zero config
+// injects nothing.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultinject.New(cfg) }
+
+// RunOverload ramps offered QPS past a daemon's admission capacity,
+// open-loop, and reports shedding, goodput, admitted latency, and
+// whether the daemon recovered to a healthy verdict afterwards.
+func RunOverload(ctx context.Context, baseURL string, reqs []QueryRequest, cfg OverloadConfig) (*OverloadReport, error) {
+	return service.RunOverload(ctx, baseURL, reqs, cfg)
+}
 
 // Checkers.
 

@@ -1,0 +1,212 @@
+// Package faultinject provides deterministic, seeded fault injectors
+// for the service and store layers — the serving-side counterpart of
+// internal/chaos, which injects link faults into the protocol runtime.
+// Where chaos proves the agreement substrate degrades gracefully under
+// drops, delays, and partitions, faultinject proves the query service
+// degrades gracefully under slow I/O, torn snapshot writes, transient
+// store errors, and stuck cold computes.
+//
+// Injectors wrap the interfaces the store already uses: store.FS for
+// disk traffic (via Injector.FS) and the cold-path enumerator (via
+// Injector.Enumerator). Decisions come from a seeded PRNG plus
+// deterministic first-N counters, so a failing test replays from its
+// seed alone.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/system"
+)
+
+// ErrInjected is the sentinel every injected fault wraps; tests and
+// callers distinguish real failures from injected ones with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Config selects which faults an Injector produces. Probabilities are
+// evaluated per operation from the seeded PRNG; the Transient* fields
+// are deterministic first-N counters (the first N matching operations
+// fail, later ones succeed), which is the natural shape for
+// leader-failure and retry tests.
+type Config struct {
+	Seed int64
+
+	// SlowProb delays each FS read/write by SlowDelay with this
+	// probability (slow-disk simulation).
+	SlowProb  float64
+	SlowDelay time.Duration
+
+	// TornWriteProb makes WriteAtomic "crash" mid-write with this
+	// probability: a strict prefix of the data lands at the final
+	// path (as if a rename committed before its data blocks) and the
+	// call fails with an ErrInjected-wrapped error.
+	TornWriteProb float64
+
+	// TransientReads / TransientWrites fail the first N FS reads /
+	// atomic writes with a retryable, ErrInjected-wrapped error.
+	TransientReads  int
+	TransientWrites int
+
+	// TransientComputes fails the first N wrapped enumerator calls.
+	TransientComputes int
+
+	// StuckProb stalls an enumerator call for StuckDelay with this
+	// probability before letting it proceed (stuck-compute simulation).
+	StuckProb  float64
+	StuckDelay time.Duration
+}
+
+// Counts reports how many faults an Injector actually produced, so
+// tests can assert the scenario they meant to run really happened.
+type Counts struct {
+	SlowOps         int
+	TornWrites      int
+	TransientErrors int
+	StuckComputes   int
+}
+
+// Injector is a seeded fault source. Safe for concurrent use; under
+// concurrency the decision sequence is serialized by an internal lock,
+// so a single-goroutine op sequence is exactly reproducible from the
+// seed and a concurrent one is reproducible as a multiset.
+type Injector struct {
+	cfg Config
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	readsLeft    int
+	writesLeft   int
+	computesLeft int
+	counts       Counts
+}
+
+// New builds an injector from a config. A zero config injects nothing.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		readsLeft:    cfg.TransientReads,
+		writesLeft:   cfg.TransientWrites,
+		computesLeft: cfg.TransientComputes,
+	}
+}
+
+// Counts returns a snapshot of the faults injected so far.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// roll draws one probability decision from the seeded stream.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		// Still consume a draw so the decision stream's shape does not
+		// depend on the configured probability.
+		in.rng.Float64()
+		return true
+	}
+	return in.rng.Float64() < p
+}
+
+// maybeSlow sleeps outside the lock when the slow-I/O roll hits.
+func (in *Injector) maybeSlow() {
+	in.mu.Lock()
+	hit := in.roll(in.cfg.SlowProb)
+	if hit {
+		in.counts.SlowOps++
+	}
+	in.mu.Unlock()
+	if hit {
+		time.Sleep(in.cfg.SlowDelay)
+	}
+}
+
+func (in *Injector) takeTransient(left *int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if *left <= 0 {
+		return false
+	}
+	*left--
+	in.counts.TransientErrors++
+	return true
+}
+
+// FS wraps a store filesystem with the injector's I/O faults.
+func (in *Injector) FS(inner store.FS) store.FS { return &fs{in: in, inner: inner} }
+
+type fs struct {
+	in    *Injector
+	inner store.FS
+}
+
+func (f *fs) ReadFile(path string) ([]byte, error) {
+	f.in.maybeSlow()
+	if f.in.takeTransient(&f.in.readsLeft) {
+		return nil, fmt.Errorf("%w: transient read error on %s", ErrInjected, path)
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *fs) WriteAtomic(path string, data []byte) error {
+	f.in.maybeSlow()
+	if f.in.takeTransient(&f.in.writesLeft) {
+		return fmt.Errorf("%w: transient write error on %s", ErrInjected, path)
+	}
+	f.in.mu.Lock()
+	torn := f.in.roll(f.in.cfg.TornWriteProb)
+	var cut int
+	if torn {
+		f.in.counts.TornWrites++
+		if len(data) > 1 {
+			cut = 1 + f.in.rng.Intn(len(data)-1)
+		}
+	}
+	f.in.mu.Unlock()
+	if torn {
+		// Simulate the crash WriteAtomic's fsync discipline exists to
+		// prevent: the file at the final path holds a strict prefix of
+		// the data. Written directly, bypassing the inner FS's
+		// atomicity, because a torn file IS the non-atomic outcome.
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			return fmt.Errorf("%w: torn write of %s also failed: %v", ErrInjected, path, err)
+		}
+		return fmt.Errorf("%w: simulated crash after %d/%d bytes of %s", ErrInjected, cut, len(data), path)
+	}
+	return f.inner.WriteAtomic(path, data)
+}
+
+func (f *fs) ReadDir(dir string) ([]os.DirEntry, error)   { return f.inner.ReadDir(dir) }
+func (f *fs) Rename(oldpath, newpath string) error        { return f.inner.Rename(oldpath, newpath) }
+func (f *fs) MkdirAll(dir string, perm os.FileMode) error { return f.inner.MkdirAll(dir, perm) }
+func (f *fs) Stat(path string) (os.FileInfo, error)       { return f.inner.Stat(path) }
+
+// Enumerator wraps a store cold-path builder with stuck-compute and
+// transient-failure faults; wire it in with store.SetEnumerator.
+func (in *Injector) Enumerator(inner func(store.Key) (*system.System, error)) func(store.Key) (*system.System, error) {
+	return func(k store.Key) (*system.System, error) {
+		in.mu.Lock()
+		stuck := in.roll(in.cfg.StuckProb)
+		if stuck {
+			in.counts.StuckComputes++
+		}
+		in.mu.Unlock()
+		if stuck {
+			time.Sleep(in.cfg.StuckDelay)
+		}
+		if in.takeTransient(&in.computesLeft) {
+			return nil, fmt.Errorf("%w: transient compute failure for %s", ErrInjected, k)
+		}
+		return inner(k)
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is the retrying HTTP client for the ebad daemon, shared by
+// ebaq -server, the load generator, and the CI smoke jobs. It honors
+// Retry-After on 429/503 sheds, backs off exponentially with jitter on
+// retryable failures, and gives up when the retry budget (attempts or
+// wall-clock) is exhausted — the client-side half of the daemon's
+// admission control contract.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+
+	// MaxRetries bounds retry attempts after the first try (0 = no
+	// retries). BaseBackoff doubles per attempt up to MaxBackoff, with
+	// ±25% jitter; a server Retry-After overrides the backoff when
+	// larger. Budget bounds total wall-clock across attempts and waits.
+	MaxRetries  int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	Budget      time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries atomic.Int64
+	sheds   atomic.Int64
+}
+
+// NewClient builds a client with the default retry policy (4 retries,
+// 100ms base backoff capped at 5s, 30s budget), then applies the
+// EBA_RETRY_MAX and EBA_RETRY_BUDGET environment overrides.
+func NewClient(baseURL string) *Client {
+	c := &Client{
+		BaseURL:     baseURL,
+		HTTP:        &http.Client{Timeout: 5 * time.Minute},
+		MaxRetries:  4,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		Budget:      30 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if v, err := strconv.Atoi(os.Getenv("EBA_RETRY_MAX")); err == nil && v >= 0 {
+		c.MaxRetries = v
+	}
+	if d, err := time.ParseDuration(os.Getenv("EBA_RETRY_BUDGET")); err == nil && d > 0 {
+		c.Budget = d
+	}
+	return c
+}
+
+// Retries reports how many retry attempts this client has made.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Sheds reports how many 429/503 shed responses this client has seen.
+func (c *Client) Sheds() int64 { return c.sheds.Load() }
+
+// StatusError is a non-OK daemon response the client gave up on.
+type StatusError struct {
+	StatusCode int
+	Body       string
+	Attempts   int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("daemon returned %d after %d attempt(s): %s", e.StatusCode, e.Attempts, e.Body)
+}
+
+// retryable reports whether a status is worth retrying: explicit sheds
+// and drains (429, 503) and gateway timeouts (504). 4xx and 500 are
+// verdicts about the request itself.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// backoff computes the wait before retry attempt (0-based), with ±25%
+// jitter so synchronized clients don't re-stampede the daemon.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.BaseBackoff << attempt
+	if d > c.MaxBackoff || d <= 0 {
+		d = c.MaxBackoff
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	c.mu.Lock()
+	jitter := 0.75 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// post issues one attempt and fully drains the response.
+func (c *Client) post(ctx context.Context, body []byte) (status int, retryAfter time.Duration, respBody []byte, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(hreq)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return resp.StatusCode, retryAfter, data, nil
+}
+
+// Query executes one request against the daemon, retrying sheds and
+// transport failures within the retry budget.
+func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if c.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Budget)
+		defer cancel()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, data, err := c.post(ctx, body)
+		switch {
+		case err == nil && status == http.StatusOK:
+			var out Response
+			if uerr := json.Unmarshal(data, &out); uerr != nil {
+				return nil, fmt.Errorf("bad daemon response: %w", uerr)
+			}
+			return &out, nil
+		case err != nil:
+			lastErr = err
+		default:
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				c.sheds.Add(1)
+			}
+			lastErr = &StatusError{StatusCode: status, Body: string(bytes.TrimSpace(data)), Attempts: attempt + 1}
+			if !retryable(status) {
+				return nil, lastErr
+			}
+		}
+		if attempt >= c.MaxRetries {
+			return nil, fmt.Errorf("retries exhausted: %w", lastErr)
+		}
+		wait := c.backoff(attempt, retryAfter)
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("retry budget exhausted: %w", lastErr)
+		}
+		c.retries.Add(1)
+	}
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for " + msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDrainGraceful is the shutdown regression test: canceling the
+// serve context must let the in-flight query finish (200) while a
+// mid-drain arrival gets an orderly 503 JSON + Retry-After — not a
+// connection reset from a torn-down listener.
+func TestDrainGraceful(t *testing.T) {
+	st, release := gatedStore(t)
+	srv := NewServer(NewEngine(st, 0))
+	srv.SetAdmission(AdmissionConfig{MaxInflight: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, ln, 10*time.Second) }()
+	url := "http://" + ln.Addr().String()
+
+	// Park one query on the gated cold path.
+	slowDone := make(chan int, 1)
+	go func() {
+		status, _, _ := postRaw(t, url, Request{Formula: "E0", Mode: "omission", Limit: 400})
+		slowDone <- status
+	}()
+	waitFor(t, "query in flight", func() bool { return srv.inflight.Load() == 1 })
+
+	// Begin the drain with the query still running.
+	cancel()
+	waitFor(t, "drain to start", func() bool { return srv.draining.Load() })
+
+	// A mid-drain arrival must get an orderly shed, not a reset.
+	status, ra, body := postRaw(t, url, Request{Formula: "E0"})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain arrival: status %d, want 503", status)
+	}
+	if ra == "" {
+		t.Fatal("mid-drain 503 is missing Retry-After")
+	}
+	if !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("mid-drain body %q does not say draining", body)
+	}
+
+	// Health agrees: draining is an unhealthy (back off) verdict.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	}
+
+	// Let the in-flight query finish: it must complete normally.
+	close(release)
+	select {
+	case status := <-slowDone:
+		if status != http.StatusOK {
+			t.Fatalf("in-flight query during drain: %d, want 200", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight query never finished")
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}

@@ -103,6 +103,11 @@ func (e *Engine) SetParallelism(w int) {
 // Store returns the engine's store (for inventory endpoints).
 func (e *Engine) Store() *store.Store { return e.store }
 
+// CachedInMemory reports whether the key's system is memory-resident —
+// the admission layer's cheap/expensive classification: cached lookups
+// cost microseconds, everything else may cost a cold enumeration.
+func (e *Engine) CachedInMemory(key store.Key) bool { return e.store.CachedInMemory(key) }
+
 // Resolve applies defaults and validates the request, returning the
 // store key and the parsed formula.
 func (e *Engine) Resolve(req Request) (store.Key, knowledge.Formula, error) {

@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +18,8 @@ import (
 type LoadReport struct {
 	Queries  int     `json:"queries"`
 	Errors   int     `json:"errors"`
+	Retries  int64   `json:"retries"`
+	Sheds    int64   `json:"sheds_retried"`
 	ElapsedS float64 `json:"elapsed_s"`
 	QPS      float64 `json:"qps"`
 	P50MS    float64 `json:"p50_ms"`
@@ -28,9 +32,12 @@ type LoadReport struct {
 
 // RunLoad fires total queries at baseURL's /v1/query from workers
 // concurrent clients, rotating through reqs round-robin, and reports
-// throughput and latency percentiles. The first query is issued alone
-// so the system gets enumerated once instead of total times racing
-// the singleflight window with cold-start latency in every sample.
+// throughput and latency percentiles. Requests go through the shared
+// retrying Client, so transient sheds are retried (and counted) rather
+// than reported as failures. The first query per formula is issued
+// alone so the system gets enumerated once instead of total times
+// racing the singleflight window with cold-start latency in every
+// sample.
 func RunLoad(ctx context.Context, baseURL string, reqs []Request, workers, total int) (*LoadReport, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("loadgen: no requests")
@@ -41,26 +48,11 @@ func RunLoad(ctx context.Context, baseURL string, reqs []Request, workers, total
 	if total < 1 {
 		total = 1
 	}
-	client := &http.Client{Timeout: 5 * time.Minute}
+	client := NewClient(baseURL)
 	post := func(req Request) (time.Duration, error) {
-		body, err := json.Marshal(req)
-		if err != nil {
-			return 0, err
-		}
 		start := time.Now()
-		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/query", bytes.NewReader(body))
-		if err != nil {
+		if _, err := client.Query(ctx, req); err != nil {
 			return 0, err
-		}
-		hreq.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(hreq)
-		if err != nil {
-			return 0, err
-		}
-		defer resp.Body.Close()
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-		if resp.StatusCode != http.StatusOK {
-			return 0, fmt.Errorf("status %d", resp.StatusCode)
 		}
 		return time.Since(start), nil
 	}
@@ -114,6 +106,8 @@ func RunLoad(ctx context.Context, baseURL string, reqs []Request, workers, total
 	rep := &LoadReport{
 		Queries:  len(latencies),
 		Errors:   errs,
+		Retries:  client.Retries(),
+		Sheds:    client.Sheds(),
 		ElapsedS: elapsed.Seconds(),
 		Workers:  workers,
 		Formulas: len(reqs),
@@ -132,5 +126,252 @@ func RunLoad(ctx context.Context, baseURL string, reqs []Request, workers, total
 		rep.P95MS = pct(0.95)
 		rep.MaxMS = float64(latencies[len(latencies)-1].Microseconds()) / 1e3
 	}
+	return rep, nil
+}
+
+// OverloadConfig shapes the overload ramp experiment.
+type OverloadConfig struct {
+	StartQPS float64       // offered load of the first step
+	PeakQPS  float64       // offered load of the last step
+	Steps    int           // number of ramp steps (linear interpolation)
+	StepDur  time.Duration // duration of each step
+	Unloaded int           // sequential queries for the unloaded-latency baseline
+
+	// ColdKeys makes every request a distinct, never-seen system key
+	// (omission mode with a unique enumeration limit), so each admitted
+	// query costs a cold enumeration instead of a cached lookup — the
+	// regime admission control exists for. A cached lookup is so cheap
+	// that no realistic offered rate saturates the daemon; a cold
+	// enumeration pins capacity at roughly MaxInflight / enumeration
+	// time. The unloaded baseline uses the same shape, so the p99
+	// comparison is apples to apples.
+	ColdKeys bool
+}
+
+// OverloadStep is one ramp step's outcome. Offered counts requests
+// fired; OK/Shed429/Shed503 partition the answered ones; Failures are
+// transport errors or unexpected statuses — under working admission
+// control this must stay zero even far past capacity.
+type OverloadStep struct {
+	TargetQPS  float64 `json:"target_qps"`
+	Offered    int     `json:"offered"`
+	OK         int     `json:"ok"`
+	Shed429    int     `json:"shed_429"`
+	Shed503    int     `json:"shed_503"`
+	Failures   int     `json:"failures"`
+	ShedRate   float64 `json:"shed_rate"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+// OverloadReport is the whole experiment: the unloaded latency
+// baseline, every ramp step, and the recovery verdict. AdmittedP99MS
+// is the worst per-step p99 among admitted (200) responses — the
+// "graceful" in graceful degradation is that this stays near the
+// baseline while excess load sheds explicitly.
+type OverloadReport struct {
+	Formulas      []string       `json:"formulas"`
+	UnloadedP50MS float64        `json:"unloaded_p50_ms"`
+	UnloadedP99MS float64        `json:"unloaded_p99_ms"`
+	Steps         []OverloadStep `json:"steps"`
+	TotalOffered  int            `json:"total_offered"`
+	TotalOK       int            `json:"total_ok"`
+	TotalShed     int            `json:"total_shed"`
+	TotalFailures int            `json:"total_failures"`
+	PeakShedRate  float64        `json:"peak_shed_rate"`
+	AdmittedP99MS float64        `json:"admitted_p99_ms"`
+	P99Ratio      float64        `json:"p99_ratio"`
+	RecoveredOK   bool           `json:"recovered_ok"`
+	RecoveryS     float64        `json:"recovery_s"`
+	ElapsedS      float64        `json:"elapsed_s"`
+}
+
+func pctile(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(p * float64(len(lat)-1))
+	return float64(lat[idx].Microseconds()) / 1e3
+}
+
+// RunOverload ramps offered QPS from StartQPS to PeakQPS across Steps
+// steps — deliberately past the daemon's admission capacity — firing
+// open-loop (a slow server does not slow the offered rate) with one
+// attempt per request and no retries, because the experiment measures
+// the server's shedding, not the client's patience. After the ramp it
+// polls /healthz until the daemon reports "ok" again.
+func RunOverload(ctx context.Context, baseURL string, reqs []Request, cfg OverloadConfig) (*OverloadReport, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("overload: no requests")
+	}
+	if cfg.Steps < 1 {
+		cfg.Steps = 1
+	}
+	if cfg.StepDur <= 0 {
+		cfg.StepDur = 2 * time.Second
+	}
+	if cfg.StartQPS <= 0 {
+		cfg.StartQPS = 50
+	}
+	if cfg.PeakQPS < cfg.StartQPS {
+		cfg.PeakQPS = cfg.StartQPS
+	}
+	if cfg.Unloaded <= 0 {
+		cfg.Unloaded = 50
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	bodies := make([][]byte, len(reqs))
+	rep := &OverloadReport{}
+	for i, r := range reqs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+		rep.Formulas = append(rep.Formulas, r.Formula)
+	}
+	var seq atomic.Int64
+	makeBody := func(i int) []byte {
+		if !cfg.ColdKeys {
+			return bodies[i%len(bodies)]
+		}
+		r := reqs[i%len(reqs)]
+		r.Mode = "omission"
+		if r.Limit <= 0 {
+			r.Limit = DefaultOmissionLimit
+		}
+		r.Limit += int(seq.Add(1))
+		b, _ := json.Marshal(r) //nolint:errcheck // the base request marshaled above
+		return b
+	}
+	// fire issues one attempt and classifies it: 0 = OK, 1 = 429,
+	// 2 = 503, 3 = failure.
+	fire := func(i int) (int, time.Duration) {
+		start := time.Now()
+		resp, err := httpc.Post(baseURL+"/v1/query", "application/json", bytes.NewReader(makeBody(i)))
+		if err != nil {
+			return 3, 0
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return 0, time.Since(start)
+		case http.StatusTooManyRequests:
+			return 1, 0
+		case http.StatusServiceUnavailable:
+			return 2, 0
+		default:
+			return 3, 0
+		}
+	}
+
+	start := time.Now()
+	// Warmup (bind the systems) + unloaded latency baseline.
+	for i := range reqs {
+		if kind, _ := fire(i); kind == 3 {
+			return nil, fmt.Errorf("overload warmup: request %d failed", i)
+		}
+	}
+	var base []time.Duration
+	for i := 0; i < cfg.Unloaded; i++ {
+		if kind, d := fire(i); kind == 0 {
+			base = append(base, d)
+		}
+	}
+	rep.UnloadedP50MS = pctile(base, 0.50)
+	rep.UnloadedP99MS = pctile(base, 0.99)
+
+	for step := 0; step < cfg.Steps; step++ {
+		qps := cfg.StartQPS
+		if cfg.Steps > 1 {
+			qps += (cfg.PeakQPS - cfg.StartQPS) * float64(step) / float64(cfg.Steps-1)
+		}
+		interval := time.Duration(float64(time.Second) / qps)
+		var (
+			mu      sync.Mutex
+			lat     []time.Duration
+			sr      = OverloadStep{TargetQPS: qps}
+			wg      sync.WaitGroup
+			ticker  = time.NewTicker(interval)
+			stepEnd = time.After(cfg.StepDur)
+		)
+	stepLoop:
+		for i := 0; ; i++ {
+			select {
+			case <-ticker.C:
+				sr.Offered++
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					kind, d := fire(i)
+					mu.Lock()
+					switch kind {
+					case 0:
+						sr.OK++
+						lat = append(lat, d)
+					case 1:
+						sr.Shed429++
+					case 2:
+						sr.Shed503++
+					default:
+						sr.Failures++
+					}
+					mu.Unlock()
+				}(i)
+			case <-stepEnd:
+				break stepLoop
+			case <-ctx.Done():
+				ticker.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		ticker.Stop()
+		wg.Wait()
+		if sr.Offered > 0 {
+			sr.ShedRate = float64(sr.Shed429+sr.Shed503) / float64(sr.Offered)
+		}
+		sr.GoodputQPS = float64(sr.OK) / cfg.StepDur.Seconds()
+		sr.P50MS = pctile(lat, 0.50)
+		sr.P99MS = pctile(lat, 0.99)
+		rep.Steps = append(rep.Steps, sr)
+		rep.TotalOffered += sr.Offered
+		rep.TotalOK += sr.OK
+		rep.TotalShed += sr.Shed429 + sr.Shed503
+		rep.TotalFailures += sr.Failures
+		if sr.ShedRate > rep.PeakShedRate {
+			rep.PeakShedRate = sr.ShedRate
+		}
+		if sr.P99MS > rep.AdmittedP99MS {
+			rep.AdmittedP99MS = sr.P99MS
+		}
+	}
+	if rep.UnloadedP99MS > 0 {
+		rep.P99Ratio = rep.AdmittedP99MS / rep.UnloadedP99MS
+	}
+
+	// Recovery: the daemon must return to /healthz "ok" once the
+	// pressure stops.
+	recStart := time.Now()
+	for time.Since(recStart) < 15*time.Second {
+		resp, err := httpc.Get(baseURL + "/healthz")
+		if err == nil {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && strings.Contains(string(body), `"ok"`) {
+				rep.RecoveredOK = true
+				break
+			}
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	rep.RecoveryS = time.Since(recStart).Seconds()
+	rep.ElapsedS = time.Since(start).Seconds()
 	return rep, nil
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -19,24 +21,33 @@ var (
 	mQueriesOK      = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "ok"))
 	mQueriesBad     = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "bad_request"))
 	mQueriesTimeout = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "timeout"))
+	mQueriesShed    = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "shed"))
+	mQueriesRetry   = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "retryable"))
 	mQueriesErr     = telemetry.Default().Counter("eba_service_queries_total", telemetry.L("status", "error"))
 	mQuerySeconds   = telemetry.Default().Histogram("eba_service_query_seconds",
 		[]float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 30, 120})
 	mInflight = telemetry.Default().Gauge("eba_service_inflight_queries")
 )
 
-// Server is the ebad HTTP surface: query execution, cache inventory,
-// health, and metrics.
+// Server is the ebad HTTP surface: query execution behind admission
+// control, cache inventory, tri-state health, and metrics.
 type Server struct {
 	engine   *Engine
+	adm      *admission
 	started  time.Time
 	inflight atomic.Int64
+	draining atomic.Bool
 }
 
-// NewServer wraps an engine.
+// NewServer wraps an engine with no admission caps (the zero
+// AdmissionConfig); call SetAdmission before serving to bound load.
 func NewServer(e *Engine) *Server {
-	return &Server{engine: e, started: time.Now()}
+	return &Server{engine: e, adm: newAdmission(AdmissionConfig{}), started: time.Now()}
 }
+
+// SetAdmission installs admission caps. Call before serving; it is not
+// safe to swap under live traffic.
+func (s *Server) SetAdmission(cfg AdmissionConfig) { s.adm = newAdmission(cfg) }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -61,6 +72,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
 }
 
+// setRetryAfter advertises a backoff hint in whole seconds (minimum 1,
+// per RFC 9110's integer grammar).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -70,6 +91,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
+	if s.draining.Load() {
+		mShedDraining.Inc()
+		mQueriesShed.Inc()
+		setRetryAfter(w, s.adm.cfg.RetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining: daemon is shutting down"})
+		return
+	}
+	// Resolve up front so admission can classify the query: a
+	// memory-resident system is a cheap cached lookup, anything else
+	// is an expensive disk decode or cold enumeration and must also
+	// pass the per-key gate.
+	key, _, err := s.engine.Resolve(req)
+	if err != nil {
+		mQueriesBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	expensive := !s.engine.CachedInMemory(key)
+	release, err := s.adm.Acquire(r.Context(), key, expensive)
+	if err != nil {
+		mQueriesShed.Inc()
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			setRetryAfter(w, shed.RetryAfter)
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: shed.Error()})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	defer release()
+
 	mInflight.Set(float64(s.inflight.Add(1)))
 	defer func() { mInflight.Set(float64(s.inflight.Add(-1))) }()
 	start := time.Now()
@@ -82,6 +135,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrBadRequest):
 		mQueriesBad.Inc()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, store.ErrRetryable):
+		// A singleflight follower whose leader failed: this request
+		// never ran, a retry gets a fresh attempt.
+		mQueriesRetry.Inc()
+		setRetryAfter(w, s.adm.cfg.RetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		mQueriesTimeout.Inc()
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "query timed out: " + err.Error()})
@@ -93,26 +152,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // systemsBody is the GET /v1/systems response.
 type systemsBody struct {
-	Dir       string             `json:"dir,omitempty"`
-	Memory    []store.SystemInfo `json:"memory"`
-	Snapshots []string           `json:"snapshots,omitempty"`
-	Stats     store.Stats        `json:"stats"`
+	Dir         string             `json:"dir,omitempty"`
+	Memory      []store.SystemInfo `json:"memory"`
+	Snapshots   []string           `json:"snapshots,omitempty"`
+	Quarantined []string           `json:"quarantined,omitempty"`
+	Stats       store.Stats        `json:"stats"`
 }
 
 func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.Store()
 	writeJSON(w, http.StatusOK, systemsBody{
-		Dir:       st.Dir(),
-		Memory:    st.Inventory(),
-		Snapshots: st.DiskSnapshots(),
-		Stats:     st.Stats(),
+		Dir:         st.Dir(),
+		Memory:      st.Inventory(),
+		Snapshots:   st.DiskSnapshots(),
+		Quarantined: st.QuarantinedFiles(),
+		Stats:       st.Stats(),
 	})
 }
 
+// health computes the tri-state verdict: "ok", "degraded" (serving,
+// but the store has seen disk errors or quarantined files — worth an
+// operator's look), or an unhealthy 503 state ("overloaded" while the
+// admission queue is saturated or actively shedding, "draining" during
+// shutdown) that tells load balancers to back off.
+func (s *Server) health() (int, string) {
+	switch {
+	case s.draining.Load():
+		return http.StatusServiceUnavailable, "draining"
+	case s.adm.saturated():
+		return http.StatusServiceUnavailable, "overloaded"
+	}
+	st := s.engine.Store().Stats()
+	if st.Quarantined > 0 || st.DiskErrors > 0 {
+		return http.StatusOK, "degraded"
+	}
+	return http.StatusOK, "ok"
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	code, status := s.health()
+	if code != http.StatusOK {
+		setRetryAfter(w, s.adm.cfg.RetryAfter)
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
 		"uptime_s": time.Since(s.started).Seconds(),
+		"inflight": s.inflight.Load(),
+		"queued":   s.adm.queued.Load(),
 	})
 }
 
@@ -124,8 +210,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // ListenAndServe runs the server on addr until ctx is canceled, then
-// shuts down gracefully: in-flight queries get grace to finish before
-// the listener is torn down.
+// drains: in-flight queries get up to grace to finish while arriving
+// queries are answered 503 + Retry-After (never a connection reset),
+// and only then is the listener torn down.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -147,6 +234,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
+	}
+	// Drain phase: keep accepting so mid-drain arrivals get an orderly
+	// 503 instead of a reset, while waiting out the in-flight queries.
+	s.draining.Store(true)
+	deadline := time.Now().Add(grace)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()

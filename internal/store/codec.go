@@ -314,6 +314,35 @@ func DecodeResult(data []byte) (formula string, tbl []byte, err error) {
 	return formula, tbl, nil
 }
 
+// verifyEnvelope checks the magic ∥ version ∥ ... ∥ sha256 envelope
+// shared by snapshots and results without decoding the body. It is the
+// boot-time recovery scan's cheap integrity test: a file that fails it
+// is partial or corrupt and gets quarantined instead of served.
+func verifyEnvelope(kind, magic string, data []byte) error {
+	if len(data) < len(magic)+1+digestLen {
+		return fmt.Errorf("store: %s too short (%d bytes)", kind, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return fmt.Errorf("store: bad %s magic %q", kind, data[:len(magic)])
+	}
+	payload, trailer := data[:len(data)-digestLen], data[len(data)-digestLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], trailer) {
+		return fmt.Errorf("store: %s checksum mismatch (truncated or corrupted)", kind)
+	}
+	if v, k := binary.Uvarint(payload[len(magic):]); k <= 0 || v != snapVersion {
+		return fmt.Errorf("store: %s version not %d", kind, snapVersion)
+	}
+	return nil
+}
+
+// VerifySnapshot checks a system snapshot's integrity envelope
+// (magic, version, SHA-256 trailer) without decoding it.
+func VerifySnapshot(data []byte) error { return verifyEnvelope("snapshot", snapMagic, data) }
+
+// VerifyResult checks a memoized truth table's integrity envelope
+// without decoding it.
+func VerifyResult(data []byte) error { return verifyEnvelope("result", bitsMagic, data) }
+
 // decoder is a cursor over a snapshot payload with sticky errors, so
 // decode loops stay linear instead of error-checking every varint.
 type decoder struct {

@@ -4,10 +4,11 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,7 +37,15 @@ var (
 		[]float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30}, telemetry.L("source", "disk"))
 	mLoadEnum = telemetry.Default().Histogram("eba_store_load_seconds",
 		[]float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30}, telemetry.L("source", "enumerate"))
+	mQuarantined = telemetry.Default().Counter("eba_store_quarantined_total")
 )
+
+// ErrRetryable marks transient store failures where the same call may
+// well succeed if simply retried: in particular, a singleflight
+// follower whose leader's shared load failed. The follower did not
+// cause the failure and must not treat the leader's error as its own
+// verdict — the service layer maps this to 503 + Retry-After.
+var ErrRetryable = errors.New("store: retryable")
 
 // Origin says where a store answer came from.
 type Origin int
@@ -78,6 +87,7 @@ type Stats struct {
 	ResultComputes   uint64 `json:"result_computes"`
 	Evictions        uint64 `json:"evictions"`
 	DiskErrors       uint64 `json:"disk_errors"`
+	Quarantined      uint64 `json:"quarantined"`
 }
 
 // entry is one resident system plus its memoized truth tables.
@@ -114,6 +124,7 @@ type resultFlightKey struct {
 type Store struct {
 	dir    string // "" = memory-only
 	maxMem int
+	fsys   FS // all disk traffic; OSFS in production, wrappable for fault injection
 
 	mu        sync.Mutex
 	entries   map[Key]*entry
@@ -139,14 +150,25 @@ const DefaultMaxMem = 8
 // Open creates a store rooted at dir, creating the directory layout if
 // needed. dir == "" gives a memory-only store (no persistence). maxMem
 // bounds the number of in-memory systems; maxMem <= 0 means
-// DefaultMaxMem.
+// DefaultMaxMem. Opening a persistent store runs a recovery scan:
+// leftover temp files and snapshots failing their integrity envelope
+// are moved to dir/quarantine, never served and never deleted.
 func Open(dir string, maxMem int) (*Store, error) {
+	return OpenWithFS(dir, maxMem, OSFS{})
+}
+
+// OpenWithFS is Open with an explicit filesystem — the seam the
+// faultinject package wraps to tear writes or fail I/O transiently.
+func OpenWithFS(dir string, maxMem int, fsys FS) (*Store, error) {
 	if maxMem <= 0 {
 		maxMem = DefaultMaxMem
 	}
+	if fsys == nil {
+		fsys = OSFS{}
+	}
 	if dir != "" {
 		for _, sub := range []string{"systems", "results"} {
-			if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			if err := fsys.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 				return nil, fmt.Errorf("store: %w", err)
 			}
 		}
@@ -154,13 +176,133 @@ func Open(dir string, maxMem int) (*Store, error) {
 	s := &Store{
 		dir:       dir,
 		maxMem:    maxMem,
+		fsys:      fsys,
 		entries:   make(map[Key]*entry),
 		lru:       list.New(),
 		inflight:  make(map[Key]*flight),
 		resFlight: make(map[resultFlightKey]*flight),
 	}
 	s.enumerate = s.enumerateKey
+	s.recoverScan()
 	return s, nil
+}
+
+// SetEnumerator replaces the cold-path system builder (nil restores
+// the default). This is the injection point for fault-injected or
+// remote builds; call before serving traffic.
+func (s *Store) SetEnumerator(fn func(Key) (*system.System, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fn == nil {
+		fn = s.enumerateKey
+	}
+	s.enumerate = fn
+}
+
+// CachedInMemory reports whether the key's system is resident in the
+// memory layer — the admission layer's cheap/expensive classifier: a
+// resident system answers from cache in microseconds, anything else
+// may cost a disk decode or a full enumeration.
+func (s *Store) CachedInMemory(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// recoverScan walks the on-disk layers at boot and quarantines
+// anything a crashed writer could have left behind: orphaned temp
+// files and files whose integrity envelope (magic, version, SHA-256
+// trailer) does not verify. Quarantined files are preserved under
+// dir/quarantine for forensics; the healthy path recomputes and
+// rewrites them on demand.
+func (s *Store) recoverScan() {
+	if s.dir == "" {
+		return
+	}
+	s.scanDir(filepath.Join(s.dir, "systems"), VerifySnapshot)
+	resRoot := filepath.Join(s.dir, "results")
+	subs, err := s.fsys.ReadDir(resRoot)
+	if err != nil {
+		return
+	}
+	for _, sub := range subs {
+		if sub.IsDir() {
+			s.scanDir(filepath.Join(resRoot, sub.Name()), VerifyResult)
+		} else if strings.HasPrefix(sub.Name(), ".tmp-") {
+			s.quarantine(filepath.Join(resRoot, sub.Name()))
+		}
+	}
+}
+
+func (s *Store) scanDir(dir string, verify func([]byte) error) {
+	entries, err := s.fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			// A temp file at rest is a write that never committed.
+			s.quarantine(path)
+			continue
+		}
+		data, err := s.fsys.ReadFile(path)
+		if err != nil {
+			continue // unreadable now ≠ corrupt; the read path retries
+		}
+		if verify(data) != nil {
+			s.noteDiskError()
+			s.quarantine(path)
+		}
+	}
+}
+
+// quarantine moves a partial or corrupt file into dir/quarantine
+// instead of serving or deleting it. Collisions get a numeric suffix
+// so repeated crashes never overwrite earlier evidence.
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := s.fsys.MkdirAll(qdir, 0o755); err != nil {
+		s.noteDiskError()
+		return
+	}
+	base := filepath.Base(path)
+	dst := filepath.Join(qdir, base)
+	for i := 1; ; i++ {
+		if _, err := s.fsys.Stat(dst); err != nil {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := s.fsys.Rename(path, dst); err != nil {
+		s.noteDiskError()
+		return
+	}
+	mQuarantined.Inc()
+	s.mu.Lock()
+	s.stats.Quarantined++
+	s.mu.Unlock()
+}
+
+// QuarantinedFiles lists the quarantine directory, sorted by name;
+// empty for memory-only stores or when nothing was ever quarantined.
+func (s *Store) QuarantinedFiles() []string {
+	if s.dir == "" {
+		return nil
+	}
+	matches, err := filepath.Glob(filepath.Join(s.dir, "quarantine", "*"))
+	if err != nil {
+		return nil
+	}
+	for i, m := range matches {
+		matches[i] = filepath.Base(m)
+	}
+	sort.Strings(matches)
+	return matches
 }
 
 // SetParallelism bounds the worker pool used by cold enumerations.
@@ -233,7 +375,13 @@ func (s *Store) System(key Key) (*system.System, Origin, error) {
 		s.mu.Unlock()
 		mSysShared.Inc()
 		<-f.done
-		return f.sys, OriginShared, f.err
+		if f.err != nil {
+			// The leader's load failed, but this caller never ran it:
+			// surface a typed retryable error, not the leader's stale
+			// one, so a retry gets a fresh attempt.
+			return nil, OriginShared, fmt.Errorf("%w: shared load of %s failed: %v", ErrRetryable, key, f.err)
+		}
+		return f.sys, OriginShared, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
@@ -257,17 +405,20 @@ func (s *Store) System(key Key) (*system.System, Origin, error) {
 func (s *Store) load(key Key) (*system.System, string, int, Origin, error) {
 	if s.dir != "" {
 		path := s.systemPath(key)
-		if data, err := os.ReadFile(path); err == nil {
+		if data, err := s.fsys.ReadFile(path); err == nil {
 			start := time.Now()
 			gotKey, sys, derr := DecodeSystem(data)
 			switch {
 			case derr != nil:
 				// A bad snapshot (corruption, version skew) is not
-				// fatal: fall through to enumeration, which rewrites
-				// it. Surface the event in stats and telemetry.
+				// fatal: quarantine the evidence and fall through to
+				// enumeration, which rewrites a fresh one. Surface the
+				// event in stats and telemetry.
 				s.noteDiskError()
+				s.quarantine(path)
 			case gotKey != key:
 				s.noteDiskError()
+				s.quarantine(path)
 			default:
 				mLoadDisk.Observe(time.Since(start).Seconds())
 				s.mu.Lock()
@@ -296,7 +447,7 @@ func (s *Store) load(key Key) (*system.System, string, int, Origin, error) {
 			return nil, "", 0, OriginEnumerated, err
 		}
 		digest, size = Digest(data), len(data)
-		if err := writeAtomic(s.systemPath(key), data); err != nil {
+		if err := s.fsys.WriteAtomic(s.systemPath(key), data); err != nil {
 			// Persistence failure degrades to memory-only for this
 			// system; the answer itself is still good.
 			s.noteDiskError()
@@ -361,7 +512,7 @@ func (s *Store) Result(key Key, formula string, compute func(*system.System) (*k
 		s.mu.Unlock()
 		<-f.done
 		if f.err != nil {
-			return nil, OriginShared, f.err
+			return nil, OriginShared, fmt.Errorf("%w: shared compute of %q failed: %v", ErrRetryable, formula, f.err)
 		}
 		return f.tbl, OriginShared, nil
 	}
@@ -394,7 +545,8 @@ func (s *Store) Result(key Key, formula string, compute func(*system.System) (*k
 func (s *Store) loadResult(sys *system.System, digest, formula string, compute func(*system.System) (*knowledge.Bits, error)) (*knowledge.Bits, Origin, error) {
 	persistable := s.dir != "" && digest != ""
 	if persistable {
-		if data, err := os.ReadFile(s.resultPath(digest, formula)); err == nil {
+		path := s.resultPath(digest, formula)
+		if data, err := s.fsys.ReadFile(path); err == nil {
 			gotFormula, packed, derr := DecodeResult(data)
 			if derr == nil && gotFormula == formula {
 				var tbl knowledge.Bits
@@ -407,6 +559,7 @@ func (s *Store) loadResult(sys *system.System, digest, formula string, compute f
 				}
 			}
 			s.noteDiskError()
+			s.quarantine(path)
 		}
 	}
 	tbl, err := compute(sys)
@@ -420,7 +573,7 @@ func (s *Store) loadResult(sys *system.System, digest, formula string, compute f
 	if persistable {
 		packed, err := tbl.MarshalBinary()
 		if err == nil {
-			err = writeAtomic(s.resultPath(digest, formula), EncodeResult(formula, packed))
+			err = s.fsys.WriteAtomic(s.resultPath(digest, formula), EncodeResult(formula, packed))
 		}
 		if err != nil {
 			s.noteDiskError()
@@ -483,32 +636,4 @@ func (s *Store) DiskSnapshots() []string {
 	}
 	sort.Strings(matches)
 	return matches
-}
-
-// writeAtomic writes data via a temp file and rename, so a crashed or
-// concurrent writer never leaves a half-written snapshot at the final
-// path (the checksum would catch it anyway; this keeps it from being
-// seen at all).
-func writeAtomic(path string, data []byte) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
 }
