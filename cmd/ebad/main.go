@@ -5,10 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/query    {"formula":"Cbox E0 -> C E0","n":3,"t":1,"mode":"crash"}
-//	GET  /v1/systems  cache inventory and hit/miss statistics
-//	GET  /healthz     liveness
-//	GET  /metrics     Prometheus text exposition
+//	POST /v1/query          {"formula":"Cbox E0 -> C E0","n":3,"t":1,"mode":"crash"}
+//	GET  /v1/systems        cache inventory and hit/miss statistics
+//	GET  /healthz           liveness
+//	GET  /metrics           Prometheus text exposition
+//	GET  /debug/queries     in-flight and recent queries with stage timings
+//	GET  /debug/trace/{id}  one trace's retained span/event stream
 //
 // Serve mode:
 //
@@ -33,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -63,6 +66,11 @@ func run() error {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-query timeout (0 = none)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace for in-flight queries")
 		parallel = flag.Int("parallel", 0, "worker bound for cold enumeration and evaluation (0 = all cores, 1 = sequential)")
+
+		traceRing     = flag.Int("trace-ring", 4096, "in-memory trace retention ring capacity for /debug/trace (0 = off)")
+		slowLog       = flag.String("slowlog", "", "append slow queries as JSONL to this file (\"\" = off)")
+		slowThreshold = flag.Duration("slow-threshold", 250*time.Millisecond, "latency above which a query lands in the slow log")
+		incidentDir   = flag.String("incident-dir", "", "directory for trace-ring incident dumps on shed/drain/quarantine (default cachedir/incidents when -cachedir is set)")
 
 		maxInflight  = flag.Int("max-inflight", 64, "admission: max concurrently executing queries (0 = unbounded)")
 		perKey       = flag.Int("per-key", 4, "admission: max concurrent expensive queries per system key (0 = unbounded)")
@@ -106,6 +114,10 @@ func run() error {
 		}, *benchOut)
 	}
 
+	// The retention ring backs /debug/trace/{id} and incident dumps
+	// even when no -tracefile is set; install it before serving.
+	telemetry.SetRing(*traceRing)
+
 	st, err := store.Open(*cachedir, *maxMem)
 	if err != nil {
 		return err
@@ -120,6 +132,17 @@ func run() error {
 		QueueTimeout: *queueTimeout,
 		RetryAfter:   *retryAfter,
 	})
+	incDir := *incidentDir
+	if incDir == "" && *cachedir != "" {
+		incDir = filepath.Join(*cachedir, "incidents")
+	}
+	if err := srv.SetObservability(service.ObservabilityConfig{
+		SlowLogPath:   *slowLog,
+		SlowThreshold: *slowThreshold,
+		IncidentDir:   incDir,
+	}); err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

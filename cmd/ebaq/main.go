@@ -35,6 +35,7 @@ import (
 
 	"github.com/eventual-agreement/eba/internal/service"
 	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
 func main() {
@@ -58,6 +59,7 @@ func run() error {
 		server   = flag.String("server", "", "query a running ebad daemon at this base URL instead of evaluating in-process")
 		retries  = flag.Int("retries", -1, "server mode: max retries after the first attempt (-1 = default/EBA_RETRY_MAX)")
 		budget   = flag.Duration("retry-budget", 0, "server mode: wall-clock budget across attempts (0 = default/EBA_RETRY_BUDGET)")
+		traceID  = flag.String("trace-id", "", "server mode: send this trace ID with the query (default: minted per query), for correlating with the daemon's /debug/trace/{id}")
 	)
 	flag.Parse()
 	if *src == "" {
@@ -82,7 +84,14 @@ func run() error {
 		if *budget > 0 {
 			client.Budget = *budget
 		}
-		resp, err = client.Query(context.Background(), req)
+		ctx := context.Background()
+		if *traceID != "" {
+			if !telemetry.ValidTraceID(*traceID) {
+				return fmt.Errorf("bad -trace-id %q (want 1-64 chars of [0-9a-zA-Z._-])", *traceID)
+			}
+			ctx = telemetry.ContextWithTraceID(ctx, *traceID)
+		}
+		resp, err = client.Query(ctx, req)
 	} else {
 		st, oerr := store.Open(*cachedir, 0)
 		if oerr != nil {
@@ -107,14 +116,25 @@ func run() error {
 	fmt.Printf("system:   %s n=%d t=%d h=%d (%d runs, %d points; %s)\n",
 		sys.Mode, sys.N, sys.T, sys.Horizon, sys.Runs, sys.Points, sys.Origin)
 	fmt.Printf("true at:  %d / %d points\n", resp.TruePoints, resp.TotalPoints)
+	if p := resp.Provenance; p != nil {
+		if p.TraceID != "" {
+			fmt.Printf("trace:    %s\n", p.TraceID)
+		}
+		fmt.Printf("latency:  %.3fms (queue %.3f, load %.3f, eval %.3f, scan %.3f); system %s, result %s, %d workers\n",
+			resp.ElapsedMS, p.Stages.QueueMS, p.Stages.LoadMS, p.Stages.EvalMS, p.Stages.ScanMS,
+			p.SystemOrigin, p.ResultOrigin, p.Parallelism)
+		if p.Eval != nil && p.Eval.FixedPointTotal() > 0 {
+			fmt.Printf("fixpoint: %d iterations\n", p.Eval.FixedPointTotal())
+		}
+	}
 	if resp.Valid {
 		fmt.Println("verdict:  VALID")
 		return nil
 	}
 	fmt.Println("verdict:  not valid")
 	if ce := resp.Counterexample; ce != nil {
-		fmt.Printf("fails at: time %d of run %d (cfg %s, %s)\n",
-			ce.Time, ce.Run, ce.Config, ce.Pattern)
+		fmt.Printf("fails at: time %d of run %d (cfg %s, %s; point %d)\n",
+			ce.Time, ce.Run, ce.Config, ce.Pattern, ce.Point)
 	}
 	return nil
 }

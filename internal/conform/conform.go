@@ -223,6 +223,11 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The trace-completeness law needs somewhere to read traces back
+	// from; give it a retention ring when the host process has none.
+	if telemetry.DefaultRing() == nil {
+		telemetry.SetRing(1 << 14)
+	}
 	r := &Runner{
 		opts:   opts,
 		store:  st,
@@ -262,6 +267,9 @@ func Run(opts Options) (*Result, error) {
 
 				dv, dc := r.runDifferential(sc)
 				vs, checks = append(vs, dv...), checks+dc
+
+				tv, tc := r.runTraceLaw(sc)
+				vs, checks = append(vs, tv...), checks+tc
 
 				rep := r.keyChecks(sc)
 				// Key-level violations are attributed to the scenario

@@ -1,0 +1,121 @@
+package conform
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/service"
+	"github.com/eventual-agreement/eba/internal/telemetry"
+)
+
+// traceLawFormula is the query the trace-completeness law fires; any
+// parsable formula works, the law checks the trace, not the verdict.
+const traceLawFormula = "Cbox E0 -> C E0"
+
+// runTraceLaw is the differential pillar's trace-completeness law: one
+// query through the service engine, under a fresh trace ID, must leave
+// a reconstructable trace — an engine.execute root whose stage
+// children (load, eval, scan) are parented correctly, don't overlap,
+// and account for the latency the response reports. This is the
+// observability analogue of the decision cross-check: the trace is a
+// claim about where time went, and the law holds it to the answer.
+func (r *Runner) runTraceLaw(sc Scenario) (vs []Violation, checks int) {
+	// The engine's zero-value defaulting makes t=0 unaddressable over
+	// its request surface (T: 0 means "default to 1"); and with no
+	// retention ring there is no trace to check.
+	if sc.T == 0 || !telemetry.TraceActive() {
+		return nil, 0
+	}
+	fail := func(law, detail string) {
+		vs = append(vs, violationOf(sc, "differential", law, detail))
+	}
+	key := sc.Key()
+	traceID := telemetry.NewTraceID()
+	ctx := telemetry.ContextWithTraceID(context.Background(), traceID)
+
+	checks++
+	resp, err := r.engine.Execute(ctx, service.Request{
+		Formula: traceLawFormula, N: sc.N, T: sc.T,
+		Mode: sc.Mode.String(), Horizon: sc.Horizon, Limit: key.Limit,
+	})
+	if err != nil {
+		fail("trace-query", err.Error())
+		return vs, checks
+	}
+	if resp.Provenance == nil || resp.Provenance.TraceID != traceID {
+		fail("trace-provenance", fmt.Sprintf("response provenance does not carry trace %s: %+v", traceID, resp.Provenance))
+		return vs, checks
+	}
+
+	events := telemetry.TraceEvents(traceID)
+	spans := make(map[string][]telemetry.Event)
+	for _, ev := range events {
+		if ev.Type == "span" {
+			spans[ev.Name] = append(spans[ev.Name], ev)
+		}
+	}
+
+	// Structure: exactly one root, each stage parented under it.
+	checks++
+	roots := spans["engine.execute"]
+	if len(roots) != 1 {
+		fail("trace-structure", fmt.Sprintf("trace %s has %d engine.execute spans, want 1", traceID, len(roots)))
+		return vs, checks
+	}
+	root := roots[0]
+	stageNames := []string{"engine.load", "engine.eval", "engine.scan"}
+	var stages []telemetry.Event
+	for _, name := range stageNames {
+		checks++
+		ss := spans[name]
+		if len(ss) != 1 {
+			fail("trace-structure", fmt.Sprintf("trace %s has %d %s spans, want 1", traceID, len(ss), name))
+			return vs, checks
+		}
+		if ss[0].Parent != root.Span {
+			fail("trace-parent", fmt.Sprintf("%s has parent %q, want engine.execute's span %q", name, ss[0].Parent, root.Span))
+		}
+		stages = append(stages, ss[0])
+	}
+
+	// Non-overlap: the stages are sequential by construction, so each
+	// must end (within a scheduler epsilon) before the next begins.
+	const epsilon = int64(time.Millisecond)
+	checks++
+	sort.Slice(stages, func(i, j int) bool { return stages[i].T < stages[j].T })
+	for i := 0; i+1 < len(stages); i++ {
+		end, next := stages[i].T+stages[i].Dur, stages[i+1].T
+		if end > next+epsilon {
+			fail("trace-overlap", fmt.Sprintf("%s ends at %dns but %s starts at %dns",
+				stages[i].Name, end, stages[i+1].Name, next))
+		}
+	}
+
+	// Completeness: the stage spans must account for the reported
+	// latency. Their sum cannot exceed it (plus a scheduler epsilon),
+	// and what they leave unexplained is bounded — generously, because
+	// cached queries finish in microseconds where fixed overhead
+	// dominates.
+	checks++
+	var sumNS int64
+	for _, s := range stages {
+		sumNS += s.Dur
+	}
+	sumMS := float64(sumNS) / 1e6
+	elapsed := resp.ElapsedMS
+	if sumMS > elapsed+float64(epsilon)/1e6 {
+		fail("trace-sum", fmt.Sprintf("stage spans sum to %.3fms, more than the reported %.3fms", sumMS, elapsed))
+	}
+	slack := elapsed - sumMS
+	tolerance := 50.0
+	if half := 0.5 * elapsed; half > tolerance {
+		tolerance = half
+	}
+	if slack > tolerance {
+		fail("trace-sum", fmt.Sprintf("stage spans sum to %.3fms of %.3fms reported (%.3fms unexplained > %.3fms tolerance)",
+			sumMS, elapsed, slack, tolerance))
+	}
+	return vs, checks
+}

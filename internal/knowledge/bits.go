@@ -91,6 +91,27 @@ func (b *Bits) Count() int {
 // All reports whether every bit is true.
 func (b *Bits) All() bool { return b.Count() == b.n }
 
+// FirstZero returns the index of the first false bit, or -1 when every
+// bit is true. It scans word-by-word (a single compare per 64 points)
+// rather than bit-by-bit, so counterexample extraction over a
+// million-point table costs microseconds even when the falsifying
+// point is deep into the table.
+func (b *Bits) FirstZero() int {
+	full := ^uint64(0)
+	for wi, w := range b.w {
+		if w != full {
+			idx := wi<<6 + bits.TrailingZeros64(^w)
+			if idx >= b.n {
+				// The zero lives in the trimmed tail beyond n; every
+				// in-range bit of this (final) word is set.
+				return -1
+			}
+			return idx
+		}
+	}
+	return -1
+}
+
 // Any reports whether some bit is true.
 func (b *Bits) Any() bool {
 	for _, w := range b.w {

@@ -107,3 +107,59 @@ func bitsEqualRef(a, b refBits) bool {
 	}
 	return true
 }
+
+// refFirstZero is the reference bit-by-bit scan FirstZero replaced.
+func refFirstZero(r refBits) int {
+	for i, v := range r {
+		if !v {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFirstZeroEdges(t *testing.T) {
+	// Empty table: nothing to falsify.
+	if got := NewBits(0).FirstZero(); got != -1 {
+		t.Errorf("empty FirstZero = %d, want -1", got)
+	}
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 1000} {
+		b := NewBits(n)
+		if got := b.FirstZero(); got != 0 {
+			t.Errorf("n=%d all-false FirstZero = %d, want 0", n, got)
+		}
+		b.Fill(true)
+		if got := b.FirstZero(); got != -1 {
+			t.Errorf("n=%d all-true FirstZero = %d, want -1", n, got)
+		}
+		// Single zero at each word-boundary-sensitive position.
+		for _, z := range []int{0, 1, 62, 63, 64, 65, n - 1} {
+			if z >= n {
+				continue
+			}
+			b.Fill(true)
+			b.Set(z, false)
+			if got := b.FirstZero(); got != z {
+				t.Errorf("n=%d zero at %d: FirstZero = %d", n, z, got)
+			}
+		}
+	}
+}
+
+func TestFirstZeroMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(520)
+		b := NewBits(n)
+		r := make(refBits, n)
+		for i := range r {
+			// Bias toward true so FirstZero often lands deep in the table.
+			v := rng.Intn(8) != 0
+			b.Set(i, v)
+			r[i] = v
+		}
+		if got, want := b.FirstZero(), refFirstZero(r); got != want {
+			t.Fatalf("trial %d n=%d: FirstZero = %d, reference = %d", trial, n, got, want)
+		}
+	}
+}

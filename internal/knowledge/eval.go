@@ -1,6 +1,8 @@
 package knowledge
 
 import (
+	"context"
+	"strconv"
 	"sync"
 
 	"github.com/eventual-agreement/eba/internal/system"
@@ -105,6 +107,14 @@ type Evaluator struct {
 	// depth tracks Eval recursion so only the outermost call opens a
 	// trace span.
 	depth int
+	// stats accumulates per-evaluator work counters (fixed-point
+	// iterations, dispatched shards) for query provenance.
+	stats EvalStats
+	// traceCtx, when set, carries the request's span context so eval,
+	// fixed-point, and shard spans attach to the query's trace; spanCtx
+	// is the currently open eval span during a recursion.
+	traceCtx context.Context
+	spanCtx  context.Context
 
 	// members caches S(pt) tables per nonrigid set.
 	members map[NonrigidSet][]types.ProcSet
@@ -130,6 +140,50 @@ func NewEvaluator(sys *system.System) *Evaluator {
 
 // System returns the evaluator's system.
 func (e *Evaluator) System() *system.System { return e.sys }
+
+// EvalStats are one evaluator's cumulative work counters — the
+// fixed-point iteration counts and shard dispatches that end up in a
+// query's provenance block.
+type EvalStats struct {
+	// CDiamondIterations counts C◇ greatest-fixed-point iterations.
+	CDiamondIterations int `json:"cdiamond_iterations,omitempty"`
+	// CBoxIterativeIterations counts definitional C□ iterations (the
+	// cross-check path; the reachability fast path iterates zero times).
+	CBoxIterativeIterations int `json:"cbox_iterative_iterations,omitempty"`
+	// CIterations counts E^k levels examined by CIterConvergence.
+	CIterations int `json:"c_iterations,omitempty"`
+	// Shards counts parallel stage dispatches across all eval stages.
+	Shards int `json:"shards,omitempty"`
+}
+
+// FixedPointTotal sums every fixed-point iteration counter.
+func (s EvalStats) FixedPointTotal() int {
+	return s.CDiamondIterations + s.CBoxIterativeIterations + s.CIterations
+}
+
+// Stats returns the evaluator's cumulative work counters.
+func (e *Evaluator) Stats() EvalStats { return e.stats }
+
+// SetTraceContext attaches the request's span context: subsequent
+// Eval calls open their spans (outermost eval, fixed-point loops,
+// shard dispatches) as children of ctx's span, so the evaluator's
+// work shows up inside the owning query's trace. nil detaches.
+func (e *Evaluator) SetTraceContext(ctx context.Context) { e.traceCtx = ctx }
+
+// startSpan opens a child span under the current eval span (or the
+// request context when no eval span is open). Returns nil — a no-op
+// span — when the evaluator is not attached to a trace.
+func (e *Evaluator) startSpan(name string, labels ...telemetry.Label) *telemetry.ActiveSpan {
+	ctx := e.spanCtx
+	if ctx == nil {
+		ctx = e.traceCtx
+	}
+	if ctx == nil {
+		return nil
+	}
+	_, sp := telemetry.StartSpan(ctx, name, labels...)
+	return sp
+}
 
 // Holds reports whether f holds at the point.
 func (e *Evaluator) Holds(f Formula, pt system.Point) bool {
@@ -162,8 +216,15 @@ func (e *Evaluator) Eval(f Formula) *Bits {
 	op := opName(f)
 	mEvalByOp[op].Inc()
 	if e.depth == 0 {
-		sp := telemetry.BeginSpan("knowledge.eval", telemetry.L("op", op))
-		defer sp.End()
+		if e.traceCtx != nil {
+			ctx, sp := telemetry.StartSpan(e.traceCtx, "knowledge.eval", telemetry.L("op", op))
+			prev := e.spanCtx
+			e.spanCtx = ctx
+			defer func() { e.spanCtx = prev; sp.End() }()
+		} else {
+			sp := telemetry.BeginSpan("knowledge.eval", telemetry.L("op", op))
+			defer sp.End()
+		}
 	}
 	e.depth++
 	defer func() { e.depth-- }()
@@ -534,14 +595,19 @@ func (e *Evaluator) evalEDiamond(s NonrigidSet, ft *Bits) *Bits {
 // fixed point of X = E◇_S(f ∧ X) by downward iteration (the system is
 // finite, so the iteration terminates).
 func (e *Evaluator) evalCDiamond(s NonrigidSet, ft *Bits) *Bits {
+	sp := e.startSpan("knowledge.fixpoint", telemetry.L("op", "cdiamond"))
+	iters := 0
 	x := NewBits(e.sys.NumPoints())
 	x.Fill(true)
 	for {
 		mFixpointCDiamond.Inc()
+		iters++
 		arg := ft.Clone()
 		arg.AndWith(x)
 		next := e.evalEDiamond(s, arg)
 		if next.Equal(x) {
+			e.stats.CDiamondIterations += iters
+			sp.End(telemetry.L("iterations", strconv.Itoa(iters)))
 			return x
 		}
 		x = next
@@ -630,6 +696,7 @@ func (e *Evaluator) CIterConvergence(s NonrigidSet, f Formula, maxDepth int) (de
 	acc := cur.Clone()
 	for k := 1; k <= maxDepth; k++ {
 		mFixpointCIter.Inc()
+		e.stats.CIterations++
 		if acc.Equal(final) {
 			return k, true
 		}
@@ -645,14 +712,19 @@ func (e *Evaluator) CIterConvergence(s NonrigidSet, f Formula, maxDepth int) (de
 // ablation benchmark; Eval(CBox(s, f)) is the fast path.
 func (e *Evaluator) CBoxIterative(s NonrigidSet, f Formula) *Bits {
 	ft := e.Eval(f)
+	sp := e.startSpan("knowledge.fixpoint", telemetry.L("op", "cbox_iterative"))
+	iters := 0
 	x := NewBits(e.sys.NumPoints())
 	x.Fill(true)
 	for {
 		mFixpointCBoxIter.Inc()
+		iters++
 		arg := ft.Clone()
 		arg.AndWith(x)
 		next := e.evalBox(e.evalE(s, arg), false)
 		if next.Equal(x) {
+			e.stats.CBoxIterativeIterations += iters
+			sp.End(telemetry.L("iterations", strconv.Itoa(iters)))
 			return x
 		}
 		x = next

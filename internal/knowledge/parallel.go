@@ -2,6 +2,7 @@ package knowledge
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +51,21 @@ func (e *Evaluator) SetParallelism(w int) {
 // Parallelism returns the evaluator's effective worker bound.
 func (e *Evaluator) Parallelism() int { return e.par }
 
+// EffectiveParallelism resolves a requested worker bound the way
+// SetParallelism does — through the process default down to
+// runtime.GOMAXPROCS(0) — without building an evaluator. Provenance
+// blocks use it to report the bound a cached answer would have been
+// computed under.
+func EffectiveParallelism(w int) int {
+	if w <= 0 {
+		w = int(defaultPar.Load())
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
 // parallelBits splits the bit-index range [0, n) into word-aligned
 // chunks and runs fn on each concurrently. fn(lo, hi) must write only
 // bits (or elements) with index in [lo, hi); alignment to 64 keeps
@@ -60,8 +76,10 @@ func (e *Evaluator) parallelBits(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	sp := e.startSpan("knowledge.shards", telemetry.L("kind", "bits"))
 	chunk := ((n+w-1)/w + 63) &^ 63
 	var wg sync.WaitGroup
+	shards := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -69,9 +87,12 @@ func (e *Evaluator) parallelBits(n int, fn func(lo, hi int)) {
 		}
 		wg.Add(1)
 		mParEvalShards.Inc()
+		shards++
 		go func(lo, hi int) { defer wg.Done(); fn(lo, hi) }(lo, hi)
 	}
 	wg.Wait()
+	e.stats.Shards += shards
+	sp.End(telemetry.L("shards", strconv.Itoa(shards)))
 }
 
 // parallelItems splits [0, n) into plain chunks and runs fn on each
@@ -85,8 +106,10 @@ func (e *Evaluator) parallelItems(n, minWork int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	sp := e.startSpan("knowledge.shards", telemetry.L("kind", "items"))
 	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
+	shards := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -94,9 +117,12 @@ func (e *Evaluator) parallelItems(n, minWork int, fn func(lo, hi int)) {
 		}
 		wg.Add(1)
 		mParEvalShards.Inc()
+		shards++
 		go func(lo, hi int) { defer wg.Done(); fn(lo, hi) }(lo, hi)
 	}
 	wg.Wait()
+	e.stats.Shards += shards
+	sp.End(telemetry.L("shards", strconv.Itoa(shards)))
 }
 
 // parallelRuns splits the run range [0, nr) into chunks of whole runs,
@@ -109,8 +135,10 @@ func (e *Evaluator) parallelRuns(nr int, fn func(lo, hi int)) {
 		fn(0, nr)
 		return
 	}
+	sp := e.startSpan("knowledge.shards", telemetry.L("kind", "runs"))
 	chunk := ((nr+w-1)/w + 63) &^ 63
 	var wg sync.WaitGroup
+	shards := 0
 	for lo := 0; lo < nr; lo += chunk {
 		hi := lo + chunk
 		if hi > nr {
@@ -118,7 +146,10 @@ func (e *Evaluator) parallelRuns(nr int, fn func(lo, hi int)) {
 		}
 		wg.Add(1)
 		mParEvalShards.Inc()
+		shards++
 		go func(lo, hi int) { defer wg.Done(); fn(lo, hi) }(lo, hi)
 	}
 	wg.Wait()
+	e.stats.Shards += shards
+	sp.End(telemetry.L("shards", strconv.Itoa(shards)))
 }

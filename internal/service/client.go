@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
 // Client is the retrying HTTP client for the ebad daemon, shared by
@@ -106,12 +108,13 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 }
 
 // post issues one attempt and fully drains the response.
-func (c *Client) post(ctx context.Context, body []byte) (status int, retryAfter time.Duration, respBody []byte, err error) {
+func (c *Client) post(ctx context.Context, body []byte, traceID string) (status int, retryAfter time.Duration, respBody []byte, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		return 0, 0, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Eba-Trace-Id", traceID)
 	resp, err := c.HTTP.Do(hreq)
 	if err != nil {
 		return 0, 0, nil, err
@@ -134,6 +137,13 @@ func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One trace ID covers the whole logical query: retries reuse it, so
+	// the daemon-side trace shows every attempt under one ID. A caller
+	// that already carries a trace (a test, a CLI flag) wins.
+	traceID := telemetry.TraceIDFromContext(ctx)
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
 	if c.Budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.Budget)
@@ -141,7 +151,7 @@ func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		status, retryAfter, data, err := c.post(ctx, body)
+		status, retryAfter, data, err := c.post(ctx, body, traceID)
 		switch {
 		case err == nil && status == http.StatusOK:
 			var out Response

@@ -16,6 +16,7 @@ import (
 	"github.com/eventual-agreement/eba/internal/knowledge"
 	"github.com/eventual-agreement/eba/internal/store"
 	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
 // ErrBadRequest marks errors caused by the request itself (unknown
@@ -51,12 +52,41 @@ type SystemSummary struct {
 	Origin  string `json:"origin"`
 }
 
-// Counterexample is a point where the formula fails.
+// Counterexample is a point where the formula fails. Point is the
+// falsifying point's index in the truth table — its provenance: the
+// same index against the same system key reproduces the point.
 type Counterexample struct {
 	Run     int    `json:"run"`
 	Time    int    `json:"time"`
 	Config  string `json:"config"`
 	Pattern string `json:"pattern"`
+	Point   int    `json:"point"`
+}
+
+// StageTimings is the per-stage latency breakdown of one query: time
+// queued in admission, loading (or enumerating) the system, evaluating
+// the formula, and scanning for a counterexample. The stages are
+// sequential and disjoint, so their sum is a lower bound on ElapsedMS.
+type StageTimings struct {
+	QueueMS float64 `json:"queue_ms"`
+	LoadMS  float64 `json:"load_ms"`
+	EvalMS  float64 `json:"eval_ms"`
+	ScanMS  float64 `json:"scan_ms"`
+}
+
+// Provenance says where an answer came from and what it cost: the
+// trace ID to correlate with /debug/trace/{id} and the JSONL sink, the
+// stage breakdown, both cache origins, the evaluator's worker bound,
+// and — when the table was actually computed this request — the
+// evaluator's fixed-point iteration counts.
+type Provenance struct {
+	TraceID      string               `json:"trace_id,omitempty"`
+	Key          string               `json:"key"`
+	Stages       StageTimings         `json:"stages"`
+	SystemOrigin string               `json:"system_origin"`
+	ResultOrigin string               `json:"result_origin"`
+	Parallelism  int                  `json:"parallelism"`
+	Eval         *knowledge.EvalStats `json:"eval,omitempty"`
 }
 
 // Response is a query result.
@@ -69,6 +99,7 @@ type Response struct {
 	System         SystemSummary   `json:"system"`
 	ResultOrigin   string          `json:"result_origin"`
 	ElapsedMS      float64         `json:"elapsed_ms"`
+	Provenance     *Provenance     `json:"provenance,omitempty"`
 }
 
 // Engine executes queries against a snapshot store. Safe for
@@ -174,8 +205,12 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Response, error) {
 		err  error
 	}
 	ch := make(chan outcome, 1)
+	// The core must keep the request's trace but not its cancellation:
+	// on timeout it finishes in the background and its result (and its
+	// trace) still land for the retry.
+	core := telemetry.Detach(ctx)
 	go func() {
-		resp, err := e.execute(key, f, req.Formula, start)
+		resp, err := e.execute(core, key, f, req.Formula, start)
 		ch <- outcome{resp, err}
 	}()
 	select {
@@ -186,20 +221,46 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Response, error) {
 	}
 }
 
-// execute is the uncancelable core of Execute.
-func (e *Engine) execute(key store.Key, f knowledge.Formula, raw string, start time.Time) (*Response, error) {
-	sys, sysOrigin, err := e.store.System(key)
+// msSince converts a stopwatch reading to fractional milliseconds.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1e3
+}
+
+// execute is the uncancelable core of Execute. Its three stages —
+// load, eval, scan — are measured with explicit stopwatches (so the
+// provenance block works with tracing off) and mirrored as child
+// spans of engine.execute (so a trace shows the same structure).
+func (e *Engine) execute(ctx context.Context, key store.Key, f knowledge.Formula, raw string, start time.Time) (*Response, error) {
+	ctx, rootSp := telemetry.StartSpan(ctx, "engine.execute", telemetry.L("key", key.Slug()))
+	status := "error"
+	defer func() { rootSp.End(telemetry.L("status", status)) }()
+
+	loadStart := time.Now()
+	lctx, loadSp := telemetry.StartSpan(ctx, "engine.load")
+	sys, sysOrigin, err := e.store.SystemCtx(lctx, key)
+	loadSp.End(telemetry.L("origin", sysOrigin.String()))
+	loadMS := msSince(loadStart)
 	if err != nil {
 		return nil, err
 	}
 	// The canonical rendering is the result-cache key, so spacing
 	// variants of one formula share a truth table.
 	canonical := f.String()
-	tbl, resOrigin, err := e.store.Result(key, canonical, func(sys *system.System) (*knowledge.Bits, error) {
+	evalStart := time.Now()
+	ectx, evalSp := telemetry.StartSpan(ctx, "engine.eval")
+	par := knowledge.EffectiveParallelism(e.parallel)
+	var evStats *knowledge.EvalStats
+	tbl, resOrigin, err := e.store.ResultCtx(ectx, key, canonical, func(sys *system.System) (*knowledge.Bits, error) {
 		ev := knowledge.NewEvaluator(sys)
 		ev.SetParallelism(e.parallel)
-		return ev.Eval(f), nil
+		ev.SetTraceContext(ectx)
+		tbl := ev.Eval(f)
+		st := ev.Stats()
+		evStats, par = &st, ev.Parallelism()
+		return tbl, nil
 	})
+	evalSp.End(telemetry.L("origin", resOrigin.String()))
+	evalMS := msSince(evalStart)
 	if err != nil {
 		return nil, err
 	}
@@ -216,22 +277,36 @@ func (e *Engine) execute(key store.Key, f knowledge.Formula, raw string, start t
 			Origin: sysOrigin.String(),
 		},
 		ResultOrigin: resOrigin.String(),
-		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
 	}
+	scanStart := time.Now()
+	_, scanSp := telemetry.StartSpan(ctx, "engine.scan")
 	if !resp.Valid {
-		for idx := 0; idx < tbl.Len(); idx++ {
-			if !tbl.Get(idx) {
-				pt := sys.PointAt(idx)
-				run := sys.RunOf(pt)
-				resp.Counterexample = &Counterexample{
-					Run:     run.Index,
-					Time:    int(pt.Time),
-					Config:  run.Config.String(),
-					Pattern: run.Pattern.String(),
-				}
-				break
+		if idx := tbl.FirstZero(); idx >= 0 {
+			pt := sys.PointAt(idx)
+			run := sys.RunOf(pt)
+			resp.Counterexample = &Counterexample{
+				Run:     run.Index,
+				Time:    int(pt.Time),
+				Config:  run.Config.String(),
+				Pattern: run.Pattern.String(),
+				Point:   idx,
 			}
 		}
 	}
+	scanSp.End()
+	scanMS := msSince(scanStart)
+	// The elapsed clock stops after the scan, so counterexample
+	// extraction is part of the latency it reports.
+	resp.ElapsedMS = msSince(start)
+	resp.Provenance = &Provenance{
+		TraceID:      telemetry.TraceIDFromContext(ctx),
+		Key:          key.Slug(),
+		Stages:       StageTimings{LoadMS: loadMS, EvalMS: evalMS, ScanMS: scanMS},
+		SystemOrigin: sysOrigin.String(),
+		ResultOrigin: resOrigin.String(),
+		Parallelism:  par,
+		Eval:         evStats,
+	}
+	status = "ok"
 	return resp, nil
 }

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
 // LoadReport summarizes a load-generation run against a daemon.
@@ -247,10 +249,17 @@ func RunOverload(ctx context.Context, baseURL string, reqs []Request, cfg Overlo
 		return b
 	}
 	// fire issues one attempt and classifies it: 0 = OK, 1 = 429,
-	// 2 = 503, 3 = failure.
+	// 2 = 503, 3 = failure. Each attempt gets its own trace ID, so a
+	// shed storm's incident dump still tells the requests apart.
 	fire := func(i int) (int, time.Duration) {
 		start := time.Now()
-		resp, err := httpc.Post(baseURL+"/v1/query", "application/json", bytes.NewReader(makeBody(i)))
+		hreq, err := http.NewRequest(http.MethodPost, baseURL+"/v1/query", bytes.NewReader(makeBody(i)))
+		if err != nil {
+			return 3, 0
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Eba-Trace-Id", telemetry.NewTraceID())
+		resp, err := httpc.Do(hreq)
 		if err != nil {
 			return 3, 0
 		}

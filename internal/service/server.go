@@ -34,6 +34,7 @@ var (
 type Server struct {
 	engine   *Engine
 	adm      *admission
+	fr       *flightRecorder
 	started  time.Time
 	inflight atomic.Int64
 	draining atomic.Bool
@@ -41,8 +42,15 @@ type Server struct {
 
 // NewServer wraps an engine with no admission caps (the zero
 // AdmissionConfig); call SetAdmission before serving to bound load.
+// The flight recorder starts with its in-memory defaults; call
+// SetObservability to add the slow-query log and incident dumps.
 func NewServer(e *Engine) *Server {
-	return &Server{engine: e, adm: newAdmission(AdmissionConfig{}), started: time.Now()}
+	return &Server{
+		engine:  e,
+		adm:     newAdmission(AdmissionConfig{}),
+		fr:      newFlightRecorder(0),
+		started: time.Now(),
+	}
 }
 
 // SetAdmission installs admission caps. Call before serving; it is not
@@ -56,6 +64,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
 	return mux
 }
 
@@ -83,17 +93,32 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Adopt the caller's trace ID (so a client can pre-correlate its
+	// logs with ours) or mint one; either way the response carries it.
+	traceID := r.Header.Get("X-Eba-Trace-Id")
+	if !telemetry.ValidTraceID(traceID) {
+		traceID = telemetry.NewTraceID()
+	}
+	w.Header().Set("X-Eba-Trace-Id", traceID)
+	ctx := telemetry.ContextWithTraceID(r.Context(), traceID)
+	ctx, rootSp := telemetry.StartSpan(ctx, "service.query")
+	status := "error"
+	defer func() { rootSp.End(telemetry.L("status", status)) }()
+
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		status = "bad_request"
 		mQueriesBad.Inc()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
 	if s.draining.Load() {
+		status = "shed"
 		mShedDraining.Inc()
 		mQueriesShed.Inc()
+		s.fr.incident("drain", req.Formula)
 		setRetryAfter(w, s.adm.cfg.RetryAfter)
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining: daemon is shutting down"})
 		return
@@ -104,14 +129,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// pass the per-key gate.
 	key, _, err := s.engine.Resolve(req)
 	if err != nil {
+		status = "bad_request"
 		mQueriesBad.Inc()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	start := time.Now()
+	frID := s.fr.begin(QueryRecord{
+		TraceID: traceID, Formula: req.Formula, Key: key.Slug(),
+		StartedAt: start.UTC(),
+	})
+	var stages StageTimings
+	var valid *bool
+	defer func() { s.fr.finish(frID, status, msSince(start), stages, valid) }()
+
 	expensive := !s.engine.CachedInMemory(key)
-	release, err := s.adm.Acquire(r.Context(), key, expensive)
+	_, queueSp := telemetry.StartSpan(ctx, "service.queue")
+	release, err := s.adm.Acquire(ctx, key, expensive)
+	queueSp.End()
+	stages.QueueMS = msSince(start)
 	if err != nil {
+		status = "shed"
 		mQueriesShed.Inc()
+		s.fr.incident("shed", err.Error())
 		var shed *ShedError
 		if errors.As(err, &shed) {
 			setRetryAfter(w, shed.RetryAfter)
@@ -125,29 +165,75 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	mInflight.Set(float64(s.inflight.Add(1)))
 	defer func() { mInflight.Set(float64(s.inflight.Add(-1))) }()
-	start := time.Now()
-	resp, err := s.engine.Execute(r.Context(), req)
-	mQuerySeconds.Observe(time.Since(start).Seconds())
+	execStart := time.Now()
+	resp, err := s.engine.Execute(ctx, req)
+	mQuerySeconds.Observe(time.Since(execStart).Seconds())
 	switch {
 	case err == nil:
+		status = "ok"
 		mQueriesOK.Inc()
+		if resp.Provenance != nil {
+			// The engine measured its own stages; only the server knows
+			// how long admission held the request first. Fold the queue
+			// into the elapsed clock too, so the stage sum stays a lower
+			// bound on what the response reports.
+			resp.Provenance.Stages.QueueMS = stages.QueueMS
+			resp.ElapsedMS = msSince(start)
+			stages = resp.Provenance.Stages
+		}
+		valid = &resp.Valid
 		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(err, ErrBadRequest):
+		status = "bad_request"
 		mQueriesBad.Inc()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.Is(err, store.ErrRetryable):
 		// A singleflight follower whose leader failed: this request
 		// never ran, a retry gets a fresh attempt.
+		status = "retryable"
 		mQueriesRetry.Inc()
 		setRetryAfter(w, s.adm.cfg.RetryAfter)
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = "timeout"
 		mQueriesTimeout.Inc()
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "query timed out: " + err.Error()})
 	default:
 		mQueriesErr.Inc()
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
+}
+
+// debugQueriesBody is the GET /debug/queries response: queries still
+// executing (or queued) and the completed-query ring, oldest first.
+type debugQueriesBody struct {
+	Inflight []QueryRecord `json:"inflight"`
+	Recent   []QueryRecord `json:"recent"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	inflight, recent := s.fr.snapshot()
+	if inflight == nil {
+		inflight = []QueryRecord{}
+	}
+	if recent == nil {
+		recent = []QueryRecord{}
+	}
+	writeJSON(w, http.StatusOK, debugQueriesBody{Inflight: inflight, Recent: recent})
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !telemetry.ValidTraceID(id) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad trace id"})
+		return
+	}
+	events := telemetry.TraceEvents(id)
+	if len(events) == 0 {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "trace not found (no retention ring installed, or the trace has aged out)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "events": events})
 }
 
 // systemsBody is the GET /v1/systems response.

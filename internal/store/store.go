@@ -2,6 +2,7 @@ package store
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -140,6 +141,11 @@ type Store struct {
 	// enumerate builds a system on a full miss; a test hook, and the
 	// place a future multi-backend store would plug in remote builds.
 	enumerate func(Key) (*system.System, error)
+
+	// quarantineHook, when set, observes every successful quarantine
+	// move with the destination path. The flight recorder uses it to
+	// dump the trace ring when corruption surfaces.
+	quarantineHook func(path string)
 }
 
 // DefaultMaxMem is the default in-memory system bound. Systems are the
@@ -285,6 +291,21 @@ func (s *Store) quarantine(path string) {
 	mQuarantined.Inc()
 	s.mu.Lock()
 	s.stats.Quarantined++
+	hook := s.quarantineHook
+	s.mu.Unlock()
+	telemetry.Emit("store.quarantine", telemetry.L("file", base))
+	if hook != nil {
+		hook(dst)
+	}
+}
+
+// SetQuarantineHook registers fn to run after every successful
+// quarantine move, with the quarantined file's new path. nil clears
+// it. The hook runs synchronously on the quarantining goroutine, so it
+// must not call back into the store.
+func (s *Store) SetQuarantineHook(fn func(path string)) {
+	s.mu.Lock()
+	s.quarantineHook = fn
 	s.mu.Unlock()
 }
 
@@ -359,6 +380,14 @@ func (s *Store) resultPath(digest, formula string) string {
 // Concurrent calls for the same key share one load: exactly one
 // caller enumerates, the rest wait and report OriginShared.
 func (s *Store) System(key Key) (*system.System, Origin, error) {
+	return s.SystemCtx(context.Background(), key)
+}
+
+// SystemCtx is System with a caller context carrying the request's
+// trace: disk decodes, cold enumerations, and singleflight waits show
+// up as child spans of the caller's span. The context does not cancel
+// the load — a shared load serves other waiters too.
+func (s *Store) SystemCtx(ctx context.Context, key Key) (*system.System, Origin, error) {
 	if err := key.Validate(); err != nil {
 		return nil, OriginEnumerated, err
 	}
@@ -374,7 +403,11 @@ func (s *Store) System(key Key) (*system.System, Origin, error) {
 		s.stats.SharedLoads++
 		s.mu.Unlock()
 		mSysShared.Inc()
+		// The compute runs in the leader's trace; this follower's own
+		// trace records only the wait.
+		_, sp := telemetry.StartSpan(ctx, "store.wait", telemetry.L("kind", "system"))
 		<-f.done
+		sp.End()
 		if f.err != nil {
 			// The leader's load failed, but this caller never ran it:
 			// surface a typed retryable error, not the leader's stale
@@ -387,7 +420,7 @@ func (s *Store) System(key Key) (*system.System, Origin, error) {
 	s.inflight[key] = f
 	s.mu.Unlock()
 
-	sys, digest, size, origin, err := s.load(key)
+	sys, digest, size, origin, err := s.load(ctx, key)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -402,12 +435,14 @@ func (s *Store) System(key Key) (*system.System, Origin, error) {
 
 // load misses memory: try the disk snapshot, then enumerate and
 // persist. Called without the lock held.
-func (s *Store) load(key Key) (*system.System, string, int, Origin, error) {
+func (s *Store) load(ctx context.Context, key Key) (*system.System, string, int, Origin, error) {
 	if s.dir != "" {
 		path := s.systemPath(key)
 		if data, err := s.fsys.ReadFile(path); err == nil {
 			start := time.Now()
+			_, decSp := telemetry.StartSpan(ctx, "store.decode", telemetry.L("key", key.Slug()))
 			gotKey, sys, derr := DecodeSystem(data)
+			decSp.End()
 			switch {
 			case derr != nil:
 				// A bad snapshot (corruption, version skew) is not
@@ -430,7 +465,9 @@ func (s *Store) load(key Key) (*system.System, string, int, Origin, error) {
 		}
 	}
 	start := time.Now()
+	_, enumSp := telemetry.StartSpan(ctx, "store.enumerate", telemetry.L("key", key.Slug()))
 	sys, err := s.enumerate(key)
+	enumSp.End()
 	if err != nil {
 		return nil, "", 0, OriginEnumerated, err
 	}
@@ -494,7 +531,13 @@ func (s *Store) admit(key Key, sys *system.System, digest string, size int, orig
 // duplicates wait and share its answer. The returned table is shared
 // and must not be modified.
 func (s *Store) Result(key Key, formula string, compute func(*system.System) (*knowledge.Bits, error)) (*knowledge.Bits, Origin, error) {
-	sys, _, err := s.System(key)
+	return s.ResultCtx(context.Background(), key, formula, compute)
+}
+
+// ResultCtx is Result with a caller context carrying the request's
+// trace; singleflight waits and the compute itself become child spans.
+func (s *Store) ResultCtx(ctx context.Context, key Key, formula string, compute func(*system.System) (*knowledge.Bits, error)) (*knowledge.Bits, Origin, error) {
+	sys, _, err := s.SystemCtx(ctx, key)
 	if err != nil {
 		return nil, OriginEnumerated, err
 	}
@@ -510,7 +553,9 @@ func (s *Store) Result(key Key, formula string, compute func(*system.System) (*k
 	}
 	if f, ok := s.resFlight[rk]; ok {
 		s.mu.Unlock()
+		_, sp := telemetry.StartSpan(ctx, "store.wait", telemetry.L("kind", "result"))
 		<-f.done
+		sp.End()
 		if f.err != nil {
 			return nil, OriginShared, fmt.Errorf("%w: shared compute of %q failed: %v", ErrRetryable, formula, f.err)
 		}
@@ -524,7 +569,7 @@ func (s *Store) Result(key Key, formula string, compute func(*system.System) (*k
 	}
 	s.mu.Unlock()
 
-	tbl, origin, err := s.loadResult(sys, digest, formula, compute)
+	tbl, origin, err := s.loadResult(ctx, sys, digest, formula, compute)
 
 	s.mu.Lock()
 	delete(s.resFlight, rk)
@@ -542,7 +587,7 @@ func (s *Store) Result(key Key, formula string, compute func(*system.System) (*k
 
 // loadResult misses the memo: try the disk layer, then compute and
 // persist. Called without the lock held.
-func (s *Store) loadResult(sys *system.System, digest, formula string, compute func(*system.System) (*knowledge.Bits, error)) (*knowledge.Bits, Origin, error) {
+func (s *Store) loadResult(ctx context.Context, sys *system.System, digest, formula string, compute func(*system.System) (*knowledge.Bits, error)) (*knowledge.Bits, Origin, error) {
 	persistable := s.dir != "" && digest != ""
 	if persistable {
 		path := s.resultPath(digest, formula)
@@ -562,7 +607,9 @@ func (s *Store) loadResult(sys *system.System, digest, formula string, compute f
 			s.quarantine(path)
 		}
 	}
+	_, sp := telemetry.StartSpan(ctx, "store.compute")
 	tbl, err := compute(sys)
+	sp.End()
 	if err != nil {
 		return nil, OriginEnumerated, err
 	}

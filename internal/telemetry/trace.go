@@ -22,6 +22,14 @@ type Event struct {
 	Name string `json:"name"`
 	// Dur is the span duration in nanoseconds (spans only).
 	Dur int64 `json:"dur_ns,omitempty"`
+	// Trace, Span, and Parent carry request-scoped correlation IDs:
+	// every span opened through the context API (StartSpan) shares the
+	// request's trace ID, names itself with a fresh span ID, and points
+	// at the span it was opened under. Anonymous spans from the legacy
+	// Begin/BeginSpan API leave all three empty.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
 	// Labels carries the span/event labels.
 	Labels map[string]string `json:"labels,omitempty"`
 }
@@ -94,7 +102,8 @@ func (t *Tracer) Begin(name string, labels ...Label) Span {
 // Span is one in-flight span. Copying is fine; End on the zero value
 // is a no-op.
 type Span struct {
-	t      *Tracer
+	t      *Tracer // non-nil: emit to this tracer alone (legacy NewTracer path)
+	global bool    // emit via the default dispatch (JSONL writer + retention ring)
 	name   string
 	labels []Label
 	start  time.Time
@@ -102,16 +111,25 @@ type Span struct {
 
 // End completes the span and writes its event.
 func (s Span) End() {
-	if s.t == nil {
+	if s.t == nil && !s.global {
 		return
 	}
-	s.t.emit(Event{
-		T:      s.start.Sub(s.t.epoch).Nanoseconds(),
+	epoch := processEpoch
+	if s.t != nil {
+		epoch = s.t.epoch
+	}
+	ev := Event{
+		T:      s.start.Sub(epoch).Nanoseconds(),
 		Type:   "span",
 		Name:   s.name,
 		Dur:    time.Since(s.start).Nanoseconds(),
 		Labels: labelMap(sortedLabels(s.labels)),
-	})
+	}
+	if s.t != nil {
+		s.t.emit(ev)
+		return
+	}
+	dispatch(ev)
 }
 
 // The process-wide default tracer, used by every instrumentation site.
@@ -132,26 +150,34 @@ func SetTraceWriter(w io.Writer) *Tracer {
 	return t
 }
 
-// TraceEnabled reports whether a default tracer is installed. Call
-// sites use it to skip label formatting when tracing is off.
+// TraceEnabled reports whether a default JSONL tracer is installed.
+// Call sites use it (or TraceActive, which also covers the retention
+// ring) to skip label formatting when tracing is off.
 func TraceEnabled() bool { return defaultTracer.Load() != nil }
 
-// BeginSpan starts a span on the default tracer (no-op Span when
-// tracing is off or instrumentation is disabled).
+// BeginSpan starts an anonymous span on the default sinks — the JSONL
+// writer and the retention ring (no-op Span when neither is installed
+// or instrumentation is disabled). Spans needing trace correlation use
+// StartSpan instead.
 func BeginSpan(name string, labels ...Label) Span {
-	if !enabled.Load() {
+	if !TraceActive() {
 		return Span{}
 	}
-	return defaultTracer.Load().Begin(name, labels...)
+	return Span{global: true, name: name, labels: labels, start: time.Now()}
 }
 
-// Emit records an event on the default tracer (no-op when tracing is
-// off or instrumentation is disabled).
+// Emit records an event on the default sinks (no-op when none is
+// installed or instrumentation is disabled).
 func Emit(name string, labels ...Label) {
-	if !enabled.Load() {
+	if !TraceActive() {
 		return
 	}
-	defaultTracer.Load().Event(name, labels...)
+	dispatch(Event{
+		T:      time.Since(processEpoch).Nanoseconds(),
+		Type:   "event",
+		Name:   name,
+		Labels: labelMap(sortedLabels(labels)),
+	})
 }
 
 // ReadEvents parses a JSONL trace stream back into events — the
@@ -160,17 +186,21 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var out []Event
+	// lineNo counts every scanned line, including the blank ones that
+	// are skipped, so error messages point at the file's real line.
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var ev Event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return nil, fmt.Errorf("telemetry: bad trace line %d: %w", len(out)+1, err)
+			return nil, fmt.Errorf("telemetry: bad trace line %d: %w", lineNo, err)
 		}
 		if ev.Type != "span" && ev.Type != "event" {
-			return nil, fmt.Errorf("telemetry: bad trace line %d: unknown type %q", len(out)+1, ev.Type)
+			return nil, fmt.Errorf("telemetry: bad trace line %d: unknown type %q", lineNo, ev.Type)
 		}
 		out = append(out, ev)
 	}
