@@ -29,7 +29,7 @@ func main() {
 		deadline = flag.Duration("deadline", 200*time.Millisecond, "live per-round receive deadline")
 		corpus   = flag.String("corpus", "conform-corpus.jsonl", "JSONL failure corpus path (empty = don't write)")
 		cacheDir = flag.String("cachedir", "", "snapshot store directory (empty = temp dir)")
-		mutant   = flag.String("mutant", "", "test-only fault injection: law | oracle | differential")
+		mutant   = flag.String("mutant", "", "test-only fault injection: law | oracle | differential | cluster")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
 	)
 	tele := telemetry.BindFlags(flag.CommandLine)

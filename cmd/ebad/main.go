@@ -26,6 +26,19 @@
 //
 //	ebad -overload http://localhost:8080 -start-qps 50 -peak-qps 2000 \
 //	     -steps 8 -step-dur 2s -bench-out BENCH_overload.json
+//
+// Cluster mode (three such invocations make a fleet; every node routes
+// queries to the consistent-hash owner of their system key and
+// replicates snapshots from peers by content address):
+//
+//	ebad -addr :8081 -cachedir /tmp/n1 -cluster \
+//	     -self n1 -peers 'n1=http://localhost:8081,n2=http://localhost:8082,n3=http://localhost:8083'
+//
+// Cluster load mode (batch queries spread across the fleet, grouped by
+// key ownership; writes the aggregate-throughput report):
+//
+//	ebad -cluster-load -target http://localhost:8081 -target http://localhost:8082 \
+//	     -target http://localhost:8083 -batch 256 -duration 10s -bench-out BENCH_cluster.json
 package main
 
 import (
@@ -39,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/eventual-agreement/eba/internal/cluster"
 	"github.com/eventual-agreement/eba/internal/service"
 	"github.com/eventual-agreement/eba/internal/store"
 	"github.com/eventual-agreement/eba/internal/telemetry"
@@ -87,15 +101,28 @@ func run() error {
 		horizon = flag.Int("h", 0, "load mode: horizon (default t+2)")
 		limit   = flag.Int("limit", 0, "load mode: omission pattern limit (0 = default)")
 
+		clustered     = flag.Bool("cluster", false, "serve as a cluster node (requires -self and -peers)")
+		self          = flag.String("self", "", "cluster: this node's name (must appear in -peers)")
+		peersFlag     = flag.String("peers", "", "cluster: full fleet as name=url,name=url,...")
+		vnodes        = flag.Int("vnodes", 0, "cluster: virtual nodes per member on the hash ring (0 = default)")
+		probeInterval = flag.Duration("probe-interval", 0, "cluster: /healthz probe cadence (0 = 2s)")
+
+		clusterLoad = flag.Bool("cluster-load", false, "cluster load mode: batch queries against -target fleet")
+		batch       = flag.Int("batch", 0, "cluster load mode: items per batch (0 = 256)")
+		duration    = flag.Duration("duration", 0, "cluster load mode: measurement window (0 = 10s)")
+		spread      = flag.Int("spread", 0, "cluster load mode: clone each formula over this many distinct omission keys so ownership scatters load across the fleet (0 = base key only)")
+
 		overload = flag.String("overload", "", "overload-experiment mode: base URL of a running daemon")
 		startQPS = flag.Float64("start-qps", 50, "overload mode: offered QPS of the first ramp step")
 		peakQPS  = flag.Float64("peak-qps", 2000, "overload mode: offered QPS of the last ramp step")
 		steps    = flag.Int("steps", 8, "overload mode: ramp steps")
 		stepDur  = flag.Duration("step-dur", 2*time.Second, "overload mode: duration of each step")
 		cold     = flag.Bool("cold", true, "overload mode: make every request a distinct cold system key (cached lookups are too cheap to saturate anything)")
-		benchOut = flag.String("bench-out", "", "overload mode: also write the report to this file")
+		benchOut = flag.String("bench-out", "", "overload / cluster-load mode: also write the report to this file")
 	)
+	var targets formulaList
 	flag.Var(&formulas, "f", "load mode: formula to query (repeatable)")
+	flag.Var(&targets, "target", "cluster load mode: fleet base URL (repeatable)")
 	tel := telemetry.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if err := tel.Start(); err != nil {
@@ -104,6 +131,11 @@ func run() error {
 	defer tel.Close()
 
 	base := service.Request{N: *n, T: *t, Mode: *mode, Horizon: *horizon, Limit: *limit}
+	if *clusterLoad {
+		return runClusterLoad(targets, formulas, base, cluster.LoadOptions{
+			Workers: *workers, BatchSize: *batch, Duration: *duration,
+		}, *spread, *benchOut)
+	}
 	if *load != "" {
 		return runLoad(*load, formulas, *workers, *queries, base)
 	}
@@ -146,12 +178,78 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *clustered {
+		peers, err := cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self: *self, Peers: peers, VNodes: *vnodes, ProbeInterval: *probeInterval,
+		})
+		if err != nil {
+			return err
+		}
+		cl.Attach(eng, srv, st)
+		cl.Start(ctx)
+		fmt.Fprintf(os.Stderr, "ebad: cluster node %s, %d peers\n", *self, len(peers))
+	}
+
 	where := *cachedir
 	if where == "" {
 		where = "(memory only)"
 	}
 	fmt.Fprintf(os.Stderr, "ebad: listening on %s, cache %s\n", *addr, where)
 	return srv.ListenAndServe(ctx, *addr, *grace)
+}
+
+// runClusterLoad drives a fleet with locality-aware batches and prints
+// (and optionally writes) the aggregate-throughput report.
+func runClusterLoad(targets, formulas []string, base service.Request, opts cluster.LoadOptions, spread int, outPath string) error {
+	if len(targets) == 0 {
+		return fmt.Errorf("cluster load mode needs at least one -target")
+	}
+	if len(formulas) == 0 {
+		formulas = []string{"Cbox E0 -> C E0", "C E0 -> Cbox E0"}
+	}
+	var reqs []service.Request
+	for _, f := range formulas {
+		r := base
+		r.Formula = f
+		if spread <= 1 {
+			reqs = append(reqs, r)
+			continue
+		}
+		// Distinct omission limits give each clone its own system key,
+		// so ownership scatters the offered load across the fleet.
+		r.Mode = "omission"
+		if r.Limit == 0 {
+			r.Limit = 400
+		}
+		for i := 0; i < spread; i++ {
+			ri := r
+			ri.Limit += i
+			reqs = append(reqs, ri)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := cluster.RunLoad(ctx, targets, reqs, opts)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	_, err = os.Stdout.Write(data)
+	return err
 }
 
 // runLoad drives a remote daemon and prints a JSON throughput report.

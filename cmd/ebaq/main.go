@@ -24,6 +24,12 @@
 // EBA_RETRY_MAX/EBA_RETRY_BUDGET environment variables):
 //
 //	ebaq -server http://localhost:8080 -f 'Cbox E0 -> C E0'
+//
+// -f repeats; multiple formulas against a -server go over the wire as
+// one POST /v1/query/batch, which a clustered daemon fans out to the
+// key's owners:
+//
+//	ebaq -server http://localhost:8080 -f 'Cbox E0 -> C E0' -f 'C E0 -> Cbox E0'
 package main
 
 import (
@@ -38,6 +44,12 @@ import (
 	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
+// formulaList collects repeated -f flags.
+type formulaList []string
+
+func (l *formulaList) String() string     { return fmt.Sprint(*l) }
+func (l *formulaList) Set(s string) error { *l = append(*l, s); return nil }
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "ebaq:", err)
@@ -46,12 +58,12 @@ func main() {
 }
 
 func run() error {
+	var formulas formulaList
 	var (
 		n        = flag.Int("n", 3, "processors")
 		t        = flag.Int("t", 1, "fault bound")
 		modeName = flag.String("mode", "crash", "crash | omission")
 		h        = flag.Int("h", 0, "horizon (default t+2)")
-		src      = flag.String("f", "", "formula to evaluate (required)")
 		limit    = flag.Int("limit", 2_000_000, "omission pattern limit")
 		jsonOut  = flag.Bool("json", false, "emit the query result as JSON")
 		cachedir = flag.String("cachedir", "", "snapshot store directory (empty = no persistence)")
@@ -61,21 +73,24 @@ func run() error {
 		budget   = flag.Duration("retry-budget", 0, "server mode: wall-clock budget across attempts (0 = default/EBA_RETRY_BUDGET)")
 		traceID  = flag.String("trace-id", "", "server mode: send this trace ID with the query (default: minted per query), for correlating with the daemon's /debug/trace/{id}")
 	)
+	flag.Var(&formulas, "f", "formula to evaluate (repeatable; multiple formulas with -server go as one batch)")
 	flag.Parse()
-	if *src == "" {
+	if len(formulas) == 0 {
 		return fmt.Errorf("missing -f formula")
 	}
-	req := service.Request{
-		Formula: *src,
-		N:       *n,
-		T:       *t,
-		Mode:    *modeName,
-		Horizon: *h,
-		Limit:   *limit,
+	reqs := make([]service.Request, len(formulas))
+	for i, f := range formulas {
+		reqs[i] = service.Request{
+			Formula: f,
+			N:       *n,
+			T:       *t,
+			Mode:    *modeName,
+			Horizon: *h,
+			Limit:   *limit,
+		}
 	}
 
-	var resp *service.Response
-	var err error
+	var resps []*service.Response
 	if *server != "" {
 		client := service.NewClient(*server)
 		if *retries >= 0 {
@@ -91,7 +106,25 @@ func run() error {
 			}
 			ctx = telemetry.ContextWithTraceID(ctx, *traceID)
 		}
-		resp, err = client.Query(ctx, req)
+		if len(reqs) == 1 {
+			resp, err := client.Query(ctx, reqs[0])
+			if err != nil {
+				return err
+			}
+			resps = append(resps, resp)
+		} else {
+			batch, err := client.QueryBatch(ctx, reqs)
+			if err != nil {
+				return err
+			}
+			for i, item := range batch.Results {
+				if item.Error != "" {
+					return fmt.Errorf("batch item %d (%q): %s (status %d)",
+						i, reqs[i].Formula, item.Error, item.Status)
+				}
+				resps = append(resps, item.Response)
+			}
+		}
 	} else {
 		st, oerr := store.Open(*cachedir, 0)
 		if oerr != nil {
@@ -99,18 +132,41 @@ func run() error {
 		}
 		eng := service.NewEngine(st, 0)
 		eng.SetParallelism(*parallel)
-		resp, err = eng.Execute(context.Background(), req)
-	}
-	if err != nil {
-		return err
+		for _, req := range reqs {
+			resp, err := eng.Execute(context.Background(), req)
+			if err != nil {
+				return err
+			}
+			resps = append(resps, resp)
+		}
 	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(resp)
+		if len(resps) == 1 {
+			return enc.Encode(resps[0])
+		}
+		return enc.Encode(resps)
 	}
 
+	invalid := 0
+	for i, resp := range resps {
+		if i > 0 {
+			fmt.Println()
+		}
+		if !printResult(resp) {
+			invalid++
+		}
+	}
+	if len(resps) > 1 {
+		fmt.Printf("\n%d/%d valid\n", len(resps)-invalid, len(resps))
+	}
+	return nil
+}
+
+// printResult renders one query result and reports its validity.
+func printResult(resp *service.Response) bool {
 	sys := resp.System
 	fmt.Printf("formula:  %s\n", resp.Formula)
 	fmt.Printf("system:   %s n=%d t=%d h=%d (%d runs, %d points; %s)\n",
@@ -129,12 +185,12 @@ func run() error {
 	}
 	if resp.Valid {
 		fmt.Println("verdict:  VALID")
-		return nil
+		return true
 	}
 	fmt.Println("verdict:  not valid")
 	if ce := resp.Counterexample; ce != nil {
 		fmt.Printf("fails at: time %d of run %d (cfg %s, %s; point %d)\n",
 			ce.Time, ce.Run, ce.Config, ce.Pattern, ce.Point)
 	}
-	return nil
+	return false
 }

@@ -49,6 +49,7 @@ import (
 
 	"github.com/eventual-agreement/eba/internal/byzantine"
 	"github.com/eventual-agreement/eba/internal/chaos"
+	"github.com/eventual-agreement/eba/internal/cluster"
 	"github.com/eventual-agreement/eba/internal/conform"
 	"github.com/eventual-agreement/eba/internal/core"
 	"github.com/eventual-agreement/eba/internal/failures"
@@ -597,6 +598,31 @@ type (
 	// OverloadReport is the overload experiment's outcome: shed rate,
 	// goodput, admitted-latency, and the recovery verdict.
 	OverloadReport = service.OverloadReport
+
+	// BatchRequest is a POST /v1/query/batch payload: up to 1024
+	// queries answered in one round trip, in order.
+	BatchRequest = service.BatchRequest
+	// BatchResponse is a batch result; item failures are isolated
+	// per-slot, never batch-fatal.
+	BatchResponse = service.BatchResponse
+	// BatchItem is one slot of a BatchResponse.
+	BatchItem = service.BatchItem
+
+	// ClusterConfig assembles one node's view of a query fleet: its
+	// own name, the static peer list, and the ring/probe tuning.
+	ClusterConfig = cluster.Config
+	// ClusterNode names one fleet member and its base URL.
+	ClusterNode = cluster.Node
+	// Cluster is one node's distribution layer — the consistent-hash
+	// ring and this node's liveness view — attachable to a
+	// QueryServer so queries route to their key's owner and snapshots
+	// replicate between peers by content address (DESIGN.md §12).
+	Cluster = cluster.Cluster
+	// ClusterLoadOptions shapes a fleet throughput measurement.
+	ClusterLoadOptions = cluster.LoadOptions
+	// ClusterLoadReport is the fleet measurement outcome; the
+	// committed BENCH_cluster.json is one of these.
+	ClusterLoadReport = cluster.LoadReport
 )
 
 // ErrStoreRetryable marks store errors a caller may retry fresh — a
@@ -633,6 +659,21 @@ func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultinject.New(c
 // whether the daemon recovered to a healthy verdict afterwards.
 func RunOverload(ctx context.Context, baseURL string, reqs []QueryRequest, cfg OverloadConfig) (*OverloadReport, error) {
 	return service.RunOverload(ctx, baseURL, reqs, cfg)
+}
+
+// NewCluster validates cfg and builds one node's ring and membership
+// table; Attach wires it into an engine/server/store triple and Start
+// begins liveness probing.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ParseClusterPeers parses a "name=url,name=url,..." fleet list (the
+// ebad -peers flag format).
+func ParseClusterPeers(s string) ([]ClusterNode, error) { return cluster.ParsePeers(s) }
+
+// RunClusterLoad drives a fleet with locality-aware batch load and
+// reports aggregate throughput; any item-level failure is counted.
+func RunClusterLoad(ctx context.Context, targets []string, reqs []QueryRequest, opts ClusterLoadOptions) (*ClusterLoadReport, error) {
+	return cluster.RunLoad(ctx, targets, reqs, opts)
 }
 
 // Checkers.

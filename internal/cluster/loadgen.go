@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/service"
+)
+
+// LoadReport is the BENCH_cluster.json shape: aggregate throughput
+// across a fleet, measured at the item (query) level.
+type LoadReport struct {
+	Targets      []string       `json:"targets"`
+	Formulas     []string       `json:"formulas"`
+	Queries      int            `json:"queries"`
+	Failed       int            `json:"failed"`
+	Batches      int            `json:"batches"`
+	BatchSize    int            `json:"batch_size"`
+	Workers      int            `json:"workers"`
+	ElapsedS     float64        `json:"elapsed_s"`
+	AggregateQPS float64        `json:"aggregate_qps"`
+	P50BatchMS   float64        `json:"p50_batch_ms"`
+	P95BatchMS   float64        `json:"p95_batch_ms"`
+	PerTarget    map[string]int `json:"per_target"`
+	CPUs         int            `json:"cpus"`
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	FirstErr     string         `json:"first_error,omitempty"`
+}
+
+// LoadOptions shapes a cluster load run.
+type LoadOptions struct {
+	Workers   int           // concurrent batch senders (0 = 2 per target)
+	BatchSize int           // items per batch (0 = 256)
+	Duration  time.Duration // measurement window (0 = 10s)
+}
+
+// batchJob is one precomputed unit of offered load: a marshaled batch
+// body and the target it goes to.
+type batchJob struct {
+	target string // base URL
+	body   []byte
+	items  int
+}
+
+// leanBatchResponse decodes only what the bench verifies: per-item
+// success. Full provenance blocks ride the wire (that is the cost
+// being measured) but are not materialized client-side.
+type leanBatchResponse struct {
+	Results []struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	} `json:"results"`
+}
+
+// RunLoad drives a fleet to its aggregate batch throughput: each
+// worker fires precomputed single-formula batches at the node that
+// owns the formula's key (discovered from the warmup responses'
+// X-Eba-Served-By, so the generator needs no ring of its own), and
+// every item is verified successful. Locality-aware offered load is
+// the fair measurement of fleet capacity — it exercises the same code
+// path as routed traffic minus the forward hop, which the smoke tests
+// cover separately — and any item-level failure is counted, so the
+// 0-failures acceptance gate is checked by construction.
+func RunLoad(ctx context.Context, targets []string, reqs []service.Request, opts LoadOptions) (*LoadReport, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster loadgen: no targets")
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("cluster loadgen: no requests")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2 * len(targets)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 256
+	}
+	if opts.BatchSize > service.MaxBatchItems {
+		opts.BatchSize = service.MaxBatchItems
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	httpc := &http.Client{Timeout: 2 * time.Minute, Transport: service.SharedTransport()}
+
+	rep := &LoadReport{
+		Targets:    targets,
+		BatchSize:  opts.BatchSize,
+		Workers:    opts.Workers,
+		PerTarget:  make(map[string]int, len(targets)),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Warmup + locality discovery: one single query per (formula,
+	// target) pair caches the system fleet-wide (exercising replication
+	// on the non-owners) and the serving node named by the owner's
+	// response decides where that formula's batches go.
+	owner := make(map[int]string, len(reqs)) // req index → target URL
+	targetByName := make(map[string]string)
+	for ri, r := range reqs {
+		rep.Formulas = append(rep.Formulas, r.Formula)
+		body, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		for ti, t := range targets {
+			served, err := warmQuery(ctx, httpc, t, body)
+			if err != nil {
+				return nil, fmt.Errorf("cluster loadgen warmup (%s on %s): %w", r.Formula, t, err)
+			}
+			if ti == 0 && served != "" {
+				owner[ri] = served // node NAME; resolved to URL below
+			}
+		}
+		if owner[ri] == "" {
+			owner[ri] = targets[ri%len(targets)]
+		}
+	}
+	// Map served-by node names to target URLs via /cluster/members.
+	for _, t := range targets {
+		if name := memberName(ctx, httpc, t); name != "" {
+			targetByName[name] = t
+		}
+	}
+	for ri := range owner {
+		if url, ok := targetByName[owner[ri]]; ok {
+			owner[ri] = url
+		} else if !isTarget(targets, owner[ri]) {
+			owner[ri] = targets[ri%len(targets)]
+		}
+	}
+
+	// Precompute one batch body per formula: batches are homogeneous so
+	// the whole batch lands on one owner with zero scatter.
+	jobs := make([]batchJob, 0, len(reqs))
+	for ri, r := range reqs {
+		b := service.BatchRequest{Queries: make([]service.Request, opts.BatchSize)}
+		for i := range b.Queries {
+			b.Queries[i] = r
+		}
+		body, err := json.Marshal(b)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, batchJob{target: owner[ri], body: body, items: opts.BatchSize})
+	}
+
+	var (
+		mu       sync.Mutex
+		batchLat []time.Duration
+		firstErr string
+	)
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; runCtx.Err() == nil; i++ {
+				job := jobs[i%len(jobs)]
+				ok, failed, d, err := fireBatch(runCtx, httpc, job)
+				if runCtx.Err() != nil && err != nil {
+					return // window closed mid-flight; do not count the abort
+				}
+				mu.Lock()
+				rep.Batches++
+				rep.Queries += ok
+				rep.Failed += failed
+				rep.PerTarget[job.target] += ok
+				if err != nil && firstErr == "" {
+					firstErr = err.Error()
+				}
+				if err == nil {
+					batchLat = append(batchLat, d)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.ElapsedS = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.AggregateQPS = float64(rep.Queries) / elapsed.Seconds()
+	}
+	rep.FirstErr = firstErr
+	if len(batchLat) > 0 {
+		sort.Slice(batchLat, func(i, j int) bool { return batchLat[i] < batchLat[j] })
+		pct := func(p float64) float64 {
+			return float64(batchLat[int(p*float64(len(batchLat)-1))].Microseconds()) / 1e3
+		}
+		rep.P50BatchMS = pct(0.50)
+		rep.P95BatchMS = pct(0.95)
+	}
+	return rep, nil
+}
+
+// fireBatch posts one batch and tallies item outcomes.
+func fireBatch(ctx context.Context, httpc *http.Client, job batchJob) (ok, failed int, d time.Duration, err error) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, job.target+"/v1/query/batch", bytes.NewReader(job.body))
+	if err != nil {
+		return 0, job.items, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return 0, job.items, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, job.items, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, job.items, 0, fmt.Errorf("batch to %s: status %d", job.target, resp.StatusCode)
+	}
+	var out leanBatchResponse
+	if uerr := json.Unmarshal(data, &out); uerr != nil {
+		return 0, job.items, 0, uerr
+	}
+	for _, item := range out.Results {
+		if item.Error != "" {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if n := job.items - len(out.Results); n > 0 {
+		failed += n
+	}
+	return ok, failed, time.Since(start), nil
+}
+
+// warmQuery posts one single query and returns the serving node name.
+func warmQuery(ctx context.Context, httpc *http.Client, target string, body []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return resp.Header.Get(ServedByHeader), nil
+}
+
+// memberName asks a target which cluster member it is ("" when the
+// target runs without -cluster).
+func memberName(ctx context.Context, httpc *http.Client, target string) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/cluster/members", nil)
+	if err != nil {
+		return ""
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Self string `json:"self"`
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	if json.Unmarshal(data, &body) != nil {
+		return ""
+	}
+	return body.Self
+}
+
+func isTarget(targets []string, s string) bool {
+	for _, t := range targets {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}

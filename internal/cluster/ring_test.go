@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("crash-n3-t1-h%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner differs by construction order (%s vs %s)",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("want error for empty ring")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("want error for duplicate node")
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const total = 30000
+	for i := 0; i < total; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for node, c := range counts {
+		frac := float64(c) / total
+		// Perfect balance is 1/3; 128 vnodes should land every node
+		// within a generous band of it.
+		if frac < 0.20 || frac > 0.47 {
+			t.Errorf("node %s owns %.1f%% of keys (want ~33%%)", node, frac*100)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys", len(counts))
+	}
+}
+
+func TestRingOwnerAliveMinimalMovement(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := func(string) bool { return true }
+	n2dead := func(n string) bool { return n != "n2" }
+
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := r.OwnerAlive(key, all)
+		after := r.OwnerAlive(key, n2dead)
+		if after == "n2" {
+			t.Fatalf("key %s routed to dead node", key)
+		}
+		switch {
+		case before == "n2":
+			moved++
+		case before != after:
+			t.Fatalf("key %s owned by live %s moved to %s when n2 died", key, before, after)
+		default:
+			kept++
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+
+	// Every node dead: fall back to the unfiltered owner.
+	none := func(string) bool { return false }
+	if got, want := r.OwnerAlive("some-key", none), r.Owner("some-key"); got != want {
+		t.Fatalf("all-dead fallback: got %s, want %s", got, want)
+	}
+}

@@ -38,10 +38,14 @@ const (
 	// MutantDifferential perturbs the live trace's decisions before
 	// the replay comparison, so sim.DiffTraces reports a divergence.
 	MutantDifferential = "differential"
+	// MutantCluster installs a routing override in the conformance
+	// fleet that sends every key to the wrong node, so the cluster
+	// pillar's served-by-owner check fails on every routed query.
+	MutantCluster = "cluster"
 )
 
 // Mutants lists the accepted Options.Mutant values.
-var Mutants = []string{MutantLaw, MutantOracle, MutantDifferential}
+var Mutants = []string{MutantLaw, MutantOracle, MutantDifferential, MutantCluster}
 
 // Options configures a conformance run.
 type Options struct {
@@ -92,7 +96,7 @@ type Violation struct {
 	Mode    string `json:"mode"`
 	Horizon int    `json:"horizon"`
 	Config  string `json:"config"`
-	Pillar  string `json:"pillar"` // differential | law | oracle
+	Pillar  string `json:"pillar"` // differential | law | oracle | cluster
 	Law     string `json:"law"`    // which check failed
 	Detail  string `json:"detail"` // counterexample / diff text
 	Replay  string `json:"replay"` // command line reproducing it
@@ -152,8 +156,13 @@ type Runner struct {
 	store  *store.Store
 	engine *service.Engine
 
-	mu   sync.Mutex
-	keys map[store.Key]*keyReport
+	mu          sync.Mutex
+	keys        map[store.Key]*keyReport
+	clusterKeys map[store.Key]*keyReport
+
+	// cluster is the lazily-booted three-node fleet the cluster
+	// pillar drives; see clusterlaw.go.
+	cluster clusterFixture
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -205,7 +214,7 @@ func Run(opts Options) (*Result, error) {
 		opts.Deadline = 200 * time.Millisecond
 	}
 	switch opts.Mutant {
-	case "", MutantLaw, MutantOracle, MutantDifferential:
+	case "", MutantLaw, MutantOracle, MutantDifferential, MutantCluster:
 	default:
 		return nil, fmt.Errorf("conform: unknown mutant %q (want %v)", opts.Mutant, Mutants)
 	}
@@ -234,6 +243,7 @@ func Run(opts Options) (*Result, error) {
 		engine: service.NewEngine(st, 0),
 		keys:   make(map[store.Key]*keyReport),
 	}
+	defer r.cluster.close()
 
 	start := time.Now()
 	type outcome struct {
@@ -279,6 +289,9 @@ func Run(opts Options) (*Result, error) {
 					vs = append(vs, rep.violations...)
 					checks += rep.checks
 				}
+
+				cv, cc := r.clusterPillar(sc)
+				vs, checks = append(vs, cv...), checks+cc
 				for _, v := range vs {
 					r.logf("VIOLATION %s %s/%s: %s", sc.Desc(), v.Pillar, v.Law, v.Detail)
 					telemetry.Emit("conform.violation",

@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/telemetry"
+)
+
+// Batch limits. A batch is one HTTP request, so the item bound keeps a
+// single call from monopolizing the daemon, and the body bound is the
+// per-item request bound times the item bound (requests are small).
+const (
+	// MaxBatchItems bounds the queries in one POST /v1/query/batch.
+	MaxBatchItems = 1024
+	// maxBatchBody bounds the batch request body.
+	maxBatchBody = 8 << 20
+	// batchWorkers bounds intra-batch concurrency: items fan out
+	// concurrently, but each still passes the admission gate, so the
+	// daemon's global caps hold across overlapping batches.
+	batchWorkers = 16
+)
+
+var (
+	mBatches    = telemetry.Default().Counter("eba_service_batches_total")
+	mBatchItems = telemetry.Default().Histogram("eba_service_batch_items",
+		[]float64{1, 4, 16, 64, 256, 1024})
+)
+
+// BatchRequest is the POST /v1/query/batch body: an ordered list of
+// independent queries.
+type BatchRequest struct {
+	Queries []Request `json:"queries"`
+}
+
+// BatchItem is one query's slot in a batch response: either a full
+// Response (with its own provenance block) or an error with the HTTP
+// status the query would have received standalone. Exactly one of
+// Response and Error is set.
+type BatchItem struct {
+	Response *Response `json:"response,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Status   int       `json:"status,omitempty"`
+}
+
+// BatchResponse is the POST /v1/query/batch reply. Results[i] answers
+// Queries[i]; order is preserved across any cluster fan-out.
+type BatchResponse struct {
+	Results   []BatchItem `json:"results"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Node      string      `json:"node,omitempty"`
+}
+
+// itemStatus maps an execution error to the HTTP status the same query
+// would have received on /v1/query, so batch callers can retry
+// selectively (429/503/504 items are retryable, 400/500 are verdicts).
+func itemStatus(err error) int {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, store.ErrRetryable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ExecuteBatch runs a group of queries locally: items fan out across a
+// bounded worker pool, each passing the admission gate exactly as a
+// standalone query would (cheap/expensive classification included), so
+// a batch cannot bypass the daemon's caps — it only amortizes the HTTP
+// round trip. Item failures are isolated: one bad or shed query leaves
+// the rest of the batch intact. The cluster router also calls this for
+// the locally-owned group of a fanned-out batch.
+func (s *Server) ExecuteBatch(ctx context.Context, reqs []Request) []BatchItem {
+	results := make([]BatchItem, len(reqs))
+	workers := batchWorkers
+	if len(reqs) < workers {
+		workers = len(reqs)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = s.executeBatchItem(ctx, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// executeBatchItem is one item's pass through admission and the
+// engine, mirroring handleQuery's status accounting.
+func (s *Server) executeBatchItem(ctx context.Context, req Request) BatchItem {
+	fail := func(err error) BatchItem {
+		st := itemStatus(err)
+		switch st {
+		case http.StatusBadRequest:
+			mQueriesBad.Inc()
+		case http.StatusTooManyRequests:
+			mQueriesShed.Inc()
+		case http.StatusServiceUnavailable:
+			mQueriesRetry.Inc()
+		case http.StatusGatewayTimeout:
+			mQueriesTimeout.Inc()
+		default:
+			mQueriesErr.Inc()
+		}
+		return BatchItem{Error: err.Error(), Status: st}
+	}
+	key, _, err := s.engine.Resolve(req)
+	if err != nil {
+		return fail(err)
+	}
+	expensive := !s.engine.CachedInMemory(key)
+	release, err := s.adm.Acquire(ctx, key, expensive)
+	if err != nil {
+		return fail(err)
+	}
+	defer release()
+	mInflight.Set(float64(s.inflight.Add(1)))
+	defer func() { mInflight.Set(float64(s.inflight.Add(-1))) }()
+	start := time.Now()
+	resp, err := s.engine.ExecuteSync(ctx, req)
+	mQuerySeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		return fail(err)
+	}
+	mQueriesOK.Inc()
+	if resp.Provenance != nil {
+		resp.Provenance.Node = s.node
+	}
+	return BatchItem{Response: resp}
+}
+
+// handleBatch is POST /v1/query/batch: decode, execute all items under
+// the admission caps, preserve order. One trace ID covers the whole
+// batch; per-item provenance still breaks out each item's stages.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	traceID := r.Header.Get("X-Eba-Trace-Id")
+	if !telemetry.ValidTraceID(traceID) {
+		traceID = telemetry.NewTraceID()
+	}
+	w.Header().Set("X-Eba-Trace-Id", traceID)
+	ctx := telemetry.ContextWithTraceID(r.Context(), traceID)
+	ctx, sp := telemetry.StartSpan(ctx, "service.batch")
+	defer sp.End()
+
+	var breq BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		mQueriesBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad batch body: " + err.Error()})
+		return
+	}
+	if len(breq.Queries) == 0 {
+		mQueriesBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch"})
+		return
+	}
+	if len(breq.Queries) > MaxBatchItems {
+		mQueriesBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: "batch too large: " + strconv.Itoa(len(breq.Queries)) + " items (max " + strconv.Itoa(MaxBatchItems) + ")"})
+		return
+	}
+	if s.draining.Load() {
+		mShedDraining.Inc()
+		mQueriesShed.Inc()
+		setRetryAfter(w, s.adm.cfg.RetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining: daemon is shutting down"})
+		return
+	}
+	mBatches.Inc()
+	mBatchItems.Observe(float64(len(breq.Queries)))
+	start := time.Now()
+	// One flight-recorder row covers the batch: per-item rows at batch
+	// rates would turn the recorder's ring into pure churn.
+	frID := s.fr.begin(QueryRecord{
+		TraceID: traceID, Formula: "batch[" + strconv.Itoa(len(breq.Queries)) + "]",
+		StartedAt: start.UTC(),
+	})
+	results := s.ExecuteBatch(ctx, breq.Queries)
+	status := "ok"
+	for _, it := range results {
+		if it.Error != "" {
+			status = "partial"
+			break
+		}
+	}
+	s.fr.finish(frID, status, msSince(start), StageTimings{}, nil)
+	writeJSONCompact(w, http.StatusOK, BatchResponse{
+		Results:   results,
+		ElapsedMS: msSince(start),
+		Node:      s.node,
+	})
+}
+
+// handleSnapshot is GET /v1/snapshot/{digest}: serve the snapshot
+// whose SHA-256 trailer is the requested address — the wire format of
+// peer replication. The key the bytes decode to rides along in a
+// header so fetchers can sanity-check before decoding.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if len(digest) != 64 || !isHex(digest) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad digest (want 64 hex chars)"})
+		return
+	}
+	data, key, err := s.engine.Store().SnapshotBytes(digest)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Eba-Key", key.Slug())
+	w.Header().Set("X-Eba-Digest", digest)
+	w.WriteHeader(http.StatusOK)
+	w.Write(data) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+// resolveBody is the GET /v1/resolve/{slug} response.
+type resolveBody struct {
+	Slug   string `json:"slug"`
+	Digest string `json:"digest"`
+}
+
+// handleResolve is GET /v1/resolve/{slug}: map a system key slug to
+// the content address of this node's snapshot for it, or 404 when the
+// node holds none. Together with /v1/snapshot/{digest} this is the
+// whole replication protocol.
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	slug := r.PathValue("slug")
+	if slug == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing slug"})
+		return
+	}
+	digest, ok := s.engine.Store().DigestForSlug(slug)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no snapshot for " + slug})
+		return
+	}
+	writeJSON(w, http.StatusOK, resolveBody{Slug: slug, Digest: digest})
+}
+
+// writeJSONCompact is writeJSON without indentation — batch responses
+// are machine-consumed arrays where the pretty-printing would double
+// the bytes on the wire.
+func writeJSONCompact(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}

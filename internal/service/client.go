@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
@@ -16,6 +17,31 @@ import (
 
 	"github.com/eventual-agreement/eba/internal/telemetry"
 )
+
+// sharedTransport is the connection pool behind every client this
+// package constructs. Fan-out traffic (batch scatter, replication
+// fetches, loadgen workers) hammers a handful of peer hosts, so the
+// per-host idle pool is sized well above the default 2 — otherwise
+// each burst tears down and redials connections, and retries land on
+// cold TCP instead of reusing the socket that just carried the 503.
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   64,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   5 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+	ForceAttemptHTTP2:     true,
+}
+
+// SharedTransport exposes the tuned pool for callers (the cluster
+// router, probes) that build their own http.Client but should share
+// the fleet's sockets rather than grow private pools.
+func SharedTransport() *http.Transport { return sharedTransport }
 
 // Client is the retrying HTTP client for the ebad daemon, shared by
 // ebaq -server, the load generator, and the CI smoke jobs. It honors
@@ -35,6 +61,11 @@ type Client struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 	Budget      time.Duration
+	// AttemptTimeout bounds each individual attempt (0 = only the
+	// http.Client timeout applies). Without it one hung attempt eats
+	// the whole Budget; with it a stuck peer costs one attempt and the
+	// retry loop moves on.
+	AttemptTimeout time.Duration
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -49,7 +80,7 @@ type Client struct {
 func NewClient(baseURL string) *Client {
 	c := &Client{
 		BaseURL:     baseURL,
-		HTTP:        &http.Client{Timeout: 5 * time.Minute},
+		HTTP:        &http.Client{Timeout: 5 * time.Minute, Transport: sharedTransport},
 		MaxRetries:  4,
 		BaseBackoff: 100 * time.Millisecond,
 		MaxBackoff:  5 * time.Second,
@@ -61,6 +92,9 @@ func NewClient(baseURL string) *Client {
 	}
 	if d, err := time.ParseDuration(os.Getenv("EBA_RETRY_BUDGET")); err == nil && d > 0 {
 		c.Budget = d
+	}
+	if d, err := time.ParseDuration(os.Getenv("EBA_ATTEMPT_TIMEOUT")); err == nil && d > 0 {
+		c.AttemptTimeout = d
 	}
 	return c
 }
@@ -107,9 +141,14 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	return time.Duration(float64(d) * jitter)
 }
 
-// post issues one attempt and fully drains the response.
-func (c *Client) post(ctx context.Context, body []byte, traceID string) (status int, retryAfter time.Duration, respBody []byte, err error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/query", bytes.NewReader(body))
+// post issues one attempt against path and fully drains the response.
+func (c *Client) post(ctx context.Context, path string, body []byte, traceID string) (status int, retryAfter time.Duration, respBody []byte, err error) {
+	if c.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.AttemptTimeout)
+		defer cancel()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, 0, nil, err
 	}
@@ -120,7 +159,8 @@ func (c *Client) post(ctx context.Context, body []byte, traceID string) (status 
 		return 0, 0, nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	// 32 MiB: a full 1024-item batch response with provenance blocks.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
 	if err != nil {
 		return 0, 0, nil, err
 	}
@@ -130,13 +170,9 @@ func (c *Client) post(ctx context.Context, body []byte, traceID string) (status 
 	return resp.StatusCode, retryAfter, data, nil
 }
 
-// Query executes one request against the daemon, retrying sheds and
-// transport failures within the retry budget.
-func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
+// postRetry runs the retry loop for one logical request against path
+// and returns the 200 response body.
+func (c *Client) postRetry(ctx context.Context, path string, body []byte) ([]byte, error) {
 	// One trace ID covers the whole logical query: retries reuse it, so
 	// the daemon-side trace shows every attempt under one ID. A caller
 	// that already carries a trace (a test, a CLI flag) wins.
@@ -151,14 +187,10 @@ func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		status, retryAfter, data, err := c.post(ctx, body, traceID)
+		status, retryAfter, data, err := c.post(ctx, path, body, traceID)
 		switch {
 		case err == nil && status == http.StatusOK:
-			var out Response
-			if uerr := json.Unmarshal(data, &out); uerr != nil {
-				return nil, fmt.Errorf("bad daemon response: %w", uerr)
-			}
-			return &out, nil
+			return data, nil
 		case err != nil:
 			lastErr = err
 		default:
@@ -183,4 +215,45 @@ func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
 		}
 		c.retries.Add(1)
 	}
+}
+
+// Query executes one request against the daemon, retrying sheds and
+// transport failures within the retry budget.
+func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.postRetry(ctx, "/v1/query", body)
+	if err != nil {
+		return nil, err
+	}
+	var out Response
+	if uerr := json.Unmarshal(data, &out); uerr != nil {
+		return nil, fmt.Errorf("bad daemon response: %w", uerr)
+	}
+	return &out, nil
+}
+
+// QueryBatch executes a group of requests in one round trip via
+// POST /v1/query/batch. The batch as a whole retries on shed/transport
+// failure; per-item errors come back inside the BatchResponse (the
+// daemon isolates them), so a partial batch is a success at this layer.
+func (c *Client) QueryBatch(ctx context.Context, reqs []Request) (*BatchResponse, error) {
+	body, err := json.Marshal(BatchRequest{Queries: reqs})
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.postRetry(ctx, "/v1/query/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	var out BatchResponse
+	if uerr := json.Unmarshal(data, &out); uerr != nil {
+		return nil, fmt.Errorf("bad daemon batch response: %w", uerr)
+	}
+	if len(out.Results) != len(reqs) {
+		return nil, fmt.Errorf("daemon batch response has %d results for %d queries", len(out.Results), len(reqs))
+	}
+	return &out, nil
 }

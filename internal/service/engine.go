@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/eventual-agreement/eba/internal/failures"
@@ -82,6 +83,7 @@ type StageTimings struct {
 type Provenance struct {
 	TraceID      string               `json:"trace_id,omitempty"`
 	Key          string               `json:"key"`
+	Node         string               `json:"node,omitempty"`
 	Stages       StageTimings         `json:"stages"`
 	SystemOrigin string               `json:"system_origin"`
 	ResultOrigin string               `json:"result_origin"`
@@ -111,6 +113,39 @@ type Engine struct {
 	// parallel bounds each query evaluator's worker pool; 0 means
 	// runtime.GOMAXPROCS(0), 1 forces sequential evaluation.
 	parallel int
+
+	// parsed caches Parse results by raw formula text. Formulas are
+	// immutable trees, so one parse can serve any number of concurrent
+	// evaluators; on the batch hot path the parse is a measurable share
+	// of a cached query's cost.
+	parsedMu sync.RWMutex
+	parsed   map[string]knowledge.Formula
+}
+
+// parseCacheBound caps the parse cache; past it the map is reset
+// rather than evicted (formula churn high enough to hit this means the
+// cache wasn't helping anyway).
+const parseCacheBound = 4096
+
+// parse is knowledge.Parse behind the engine's formula cache.
+func (e *Engine) parse(src string) (knowledge.Formula, error) {
+	e.parsedMu.RLock()
+	f, ok := e.parsed[src]
+	e.parsedMu.RUnlock()
+	if ok {
+		return f, nil
+	}
+	f, err := knowledge.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	e.parsedMu.Lock()
+	if e.parsed == nil || len(e.parsed) >= parseCacheBound {
+		e.parsed = make(map[string]knowledge.Formula)
+	}
+	e.parsed[src] = f
+	e.parsedMu.Unlock()
+	return f, nil
 }
 
 // NewEngine wraps a store. timeout bounds each Execute call (0
@@ -145,7 +180,7 @@ func (e *Engine) Resolve(req Request) (store.Key, knowledge.Formula, error) {
 	if req.Formula == "" {
 		return store.Key{}, nil, fmt.Errorf("%w: missing formula", ErrBadRequest)
 	}
-	f, err := knowledge.Parse(req.Formula)
+	f, err := e.parse(req.Formula)
 	if err != nil {
 		return store.Key{}, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -219,6 +254,22 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Response, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// ExecuteSync is Execute without the watchdog goroutine or the
+// engine-level timeout: resolve and run inline on the caller's
+// goroutine. It is the batch executor's per-item path — a batch runs
+// under one deadline, and spawning a goroutine per item would cost
+// more than many cached items do.
+func (e *Engine) ExecuteSync(ctx context.Context, req Request) (*Response, error) {
+	key, f, err := e.Resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.execute(ctx, key, f, req.Formula, time.Now())
 }
 
 // msSince converts a stopwatch reading to fractional milliseconds.

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRingConcurrentWritersAndTraceReads hammers a small ring with
+// concurrent writers while readers filter by trace ID, so eviction
+// races reads — the production shape when /debug/trace/{id} is polled
+// under query load. Run with -race; correctness here is "no torn
+// events and every returned event matches the requested trace".
+func TestRingConcurrentWritersAndTraceReads(t *testing.T) {
+	r := NewRing(32) // small: every writer batch forces eviction
+
+	const writers, readers, perWriter = 8, 4, 500
+	var wgW, wgR sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func(w int) {
+			defer wgW.Done()
+			trace := fmt.Sprintf("%032d", w)
+			for i := 0; i < perWriter; i++ {
+				r.Add(Event{Name: "ev", Trace: trace, Labels: map[string]string{"i": fmt.Sprint(i)}})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for rd := 0; rd < readers; rd++ {
+		wgR.Add(1)
+		go func(rd int) {
+			defer wgR.Done()
+			trace := fmt.Sprintf("%032d", rd%writers)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ev := range r.TraceEvents(trace) {
+					if ev.Trace != trace {
+						t.Errorf("trace filter leaked event for %q while asking for %q", ev.Trace, trace)
+						return
+					}
+					if ev.Name == "" {
+						t.Error("torn event: empty name")
+						return
+					}
+				}
+				// Unfiltered reads race eviction too.
+				if evs := r.Events(); len(evs) > r.Cap() {
+					t.Errorf("ring returned %d events, cap %d", len(evs), r.Cap())
+					return
+				}
+			}
+		}(rd)
+	}
+
+	wgW.Wait()
+	close(stop)
+	wgR.Wait()
+
+	if got := r.Seen(); got != uint64(writers*perWriter) {
+		t.Fatalf("seen %d events, want %d", got, writers*perWriter)
+	}
+	if len(r.Events()) != r.Cap() {
+		t.Fatalf("full ring returns %d events, cap %d", len(r.Events()), r.Cap())
+	}
+}
+
+// TestDefaultRingSwapUnderLoad races SetRing against writers going
+// through the package-level helpers — the daemon swapping retention
+// config while queries are in flight.
+func TestDefaultRingSwapUnderLoad(t *testing.T) {
+	old := DefaultRing()
+	defer defaultRing.Store(old)
+
+	SetRing(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if r := DefaultRing(); r != nil {
+						r.Add(Event{Name: "swap-race", Trace: "0123456789abcdef0123456789abcdef"})
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		SetRing(32 + i%64)
+		RingEvents()
+		TraceEvents("0123456789abcdef0123456789abcdef")
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -113,6 +113,7 @@ func TestParallelColdSpeedup(t *testing.T) {
 	if out := os.Getenv("BENCH_PARALLEL_OUT"); out != "" {
 		blob, err := json.MarshalIndent(map[string]any{
 			"cpus":           cpus,
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
 			"speedup_floor":  2.0,
 			"floor_enforced": cpus >= 4,
 			"determinism":    "parallel snapshot digest asserted byte-identical to sequential",
