@@ -8,11 +8,11 @@ import (
 	"io"
 	"net/http"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"github.com/eventual-agreement/eba/internal/service"
+	"github.com/eventual-agreement/eba/internal/stats"
 )
 
 // LoadReport is the BENCH_cluster.json shape: aggregate throughput
@@ -195,14 +195,8 @@ func RunLoad(ctx context.Context, targets []string, reqs []service.Request, opts
 		rep.AggregateQPS = float64(rep.Queries) / elapsed.Seconds()
 	}
 	rep.FirstErr = firstErr
-	if len(batchLat) > 0 {
-		sort.Slice(batchLat, func(i, j int) bool { return batchLat[i] < batchLat[j] })
-		pct := func(p float64) float64 {
-			return float64(batchLat[int(p*float64(len(batchLat)-1))].Microseconds()) / 1e3
-		}
-		rep.P50BatchMS = pct(0.50)
-		rep.P95BatchMS = pct(0.95)
-	}
+	rep.P50BatchMS = stats.PercentileMS(batchLat, 0.50)
+	rep.P95BatchMS = stats.PercentileMS(batchLat, 0.95)
 	return rep, nil
 }
 

@@ -58,10 +58,15 @@ func (b *Bits) Clone() *Bits {
 }
 
 // AndWith sets b to b ∧ o.
+//
+// Every word-level mutator ends with trim: the bits past n in the
+// final word are always zero, so Count, All, Equal, and table digests
+// never see stray tail bits regardless of what the operand carried.
 func (b *Bits) AndWith(o *Bits) {
 	for i := range b.w {
 		b.w[i] &= o.w[i]
 	}
+	b.trim()
 }
 
 // OrWith sets b to b ∨ o.
@@ -69,6 +74,27 @@ func (b *Bits) OrWith(o *Bits) {
 	for i := range b.w {
 		b.w[i] |= o.w[i]
 	}
+	b.trim()
+}
+
+// AndNotWith sets b to b ∧ ¬o — the word-level kernel behind the
+// batched E_S and E◇_S scans (out &^= membership-minus-belief masks).
+func (b *Bits) AndNotWith(o *Bits) {
+	for i := range b.w {
+		b.w[i] &^= o.w[i]
+	}
+	b.trim()
+}
+
+// CopyFrom overwrites b with o's bits (same length required). It lets
+// fixed-point loops reuse one scratch table instead of cloning per
+// iteration.
+func (b *Bits) CopyFrom(o *Bits) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("knowledge: CopyFrom length mismatch %d != %d", b.n, o.n))
+	}
+	copy(b.w, o.w)
+	b.trim()
 }
 
 // NotSelf complements b.

@@ -96,6 +96,83 @@ func TestBitsQuickAgainstReference(t *testing.T) {
 	}
 }
 
+// tailClean reports whether the bits past n in the final word are all
+// zero — the invariant every word-level mutator must restore (stray
+// tail bits would corrupt Count, All, Equal, and persisted digests).
+func tailClean(b *Bits) bool {
+	if r := uint(b.n & 63); r != 0 && len(b.w) > 0 {
+		return b.w[len(b.w)-1]>>r == 0
+	}
+	return true
+}
+
+// Property: random sequences of word-level ops agree with the per-bit
+// reference AND leave the trimmed tail clean after every step. The
+// operand is deliberately given stray tail bits first, so the law
+// proves the mutators sanitize rather than propagate them.
+func TestBitsWordOpsQuickAgainstReference(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(11)),
+	}
+	f := func(aw, bw []uint64, ops []uint8, size uint16) bool {
+		n := int(size%300) + 1
+		if len(aw) == 0 {
+			aw = []uint64{0}
+		}
+		if len(bw) == 0 {
+			bw = []uint64{0}
+		}
+		a, ra := fromWords(n, aw)
+		b, rb := fromWords(n, bw)
+		// Poison b's tail (bypassing Set) when n is not word-aligned:
+		// the mutators must still leave a's tail clean afterwards.
+		if n&63 != 0 {
+			b.w[len(b.w)-1] |= ^uint64(0) << uint(n&63)
+		}
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				a.AndWith(b)
+				for i := range ra {
+					ra[i] = ra[i] && rb[i]
+				}
+			case 1:
+				a.OrWith(b)
+				for i := range ra {
+					ra[i] = ra[i] || rb[i]
+				}
+			case 2:
+				a.AndNotWith(b)
+				for i := range ra {
+					ra[i] = ra[i] && !rb[i]
+				}
+			case 3:
+				a.NotSelf()
+				for i := range ra {
+					ra[i] = !ra[i]
+				}
+			case 4:
+				a.CopyFrom(b)
+				copy(ra, rb)
+			}
+			if !tailClean(a) {
+				return false
+			}
+			if !agree(a, ra) {
+				return false
+			}
+			if got, want := a.FirstZero(), refFirstZero(ra); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func bitsEqualRef(a, b refBits) bool {
 	if len(a) != len(b) {
 		return false

@@ -83,9 +83,9 @@ func opName(f Formula) string {
 // components into h. Only called when telemetry is enabled: it costs a
 // pass over the structure.
 func observeComponentSizes(uf *unionFind, h *telemetry.Histogram) {
-	sizes := make(map[int]int)
+	sizes := make(map[int32]int)
 	for i := range uf.parent {
-		sizes[uf.find(i)]++
+		sizes[uf.find(int32(i))]++
 	}
 	for _, sz := range sizes {
 		h.Observe(float64(sz))
@@ -116,12 +116,44 @@ type Evaluator struct {
 	traceCtx context.Context
 	spanCtx  context.Context
 
-	// members caches S(pt) tables per nonrigid set.
-	members map[NonrigidSet][]types.ProcSet
-	// pointComp caches the C_S point components per set.
-	pointComp map[NonrigidSet]*unionFind
-	// runComp caches the C□_S run components per set.
-	runComp map[NonrigidSet]*unionFind
+	// frontiers caches, per nonrigid set, every S-derived reachability
+	// structure (membership tables and masks, occupied classes, point
+	// and run components). Keyed by NonrigidSet identity — two sets
+	// that happen to denote the same membership still get separate
+	// frontiers, so a cached frontier can never leak across sets.
+	frontiers map[NonrigidSet]*frontier
+	// classes caches, per processor, the view-class partition of the
+	// point space (independent of any nonrigid set), so evalK never
+	// rebuilds the class map across formulas or sets.
+	classes []*procClasses
+}
+
+// frontier is every S-reachability structure the evaluator derives
+// from one nonrigid set, precomputed once and reused across formulas:
+// the S(pt) membership table, per-processor membership masks (bit idx
+// set in masks[i] iff i ∈ S at point idx — the word-level form the
+// batched E_S/E◇_S kernels consume), the S-occupied view classes, and
+// the lazily built point/run reachability components with their
+// flattened root tables.
+type frontier struct {
+	smem    []types.ProcSet
+	masks   []*Bits
+	classes []views.ID
+
+	pointComp  *unionFind
+	pointRoots []int32
+	runComp    *unionFind
+	runRoots   []int32
+}
+
+// procClasses is the view-class partition of the point space for one
+// processor: classOf[idx] numbers the class of the processor's view at
+// point idx, and classes lists the class representatives in
+// first-encounter order. Truth of K_i f is constant per class, so
+// evalK conjoins per class and fills per point through classOf.
+type procClasses struct {
+	classOf []int32
+	classes []views.ID
 }
 
 // NewEvaluator creates an evaluator for the system, with the internal
@@ -130,9 +162,8 @@ func NewEvaluator(sys *system.System) *Evaluator {
 	e := &Evaluator{
 		sys:       sys,
 		memo:      make(map[Formula]*Bits),
-		members:   make(map[NonrigidSet][]types.ProcSet),
-		pointComp: make(map[NonrigidSet]*unionFind),
-		runComp:   make(map[NonrigidSet]*unionFind),
+		frontiers: make(map[NonrigidSet]*frontier),
+		classes:   make([]*procClasses, sys.Params.N),
 	}
 	e.SetParallelism(0)
 	return e
@@ -286,19 +317,80 @@ func (e *Evaluator) Eval(f Formula) *Bits {
 	return tbl
 }
 
-// membersTable returns (caching) the S(pt) table.
-func (e *Evaluator) membersTable(s NonrigidSet) []types.ProcSet {
-	if tbl, ok := e.members[s]; ok {
-		return tbl
+// frontierFor returns (building on first use) the cached frontier for
+// the set: S(pt) membership, per-processor membership masks, and the
+// S-occupied view classes. The reachability components hang off the
+// frontier lazily (pointComponents / runComponents). The cache key is
+// the NonrigidSet itself, so distinct sets — even ones denoting the
+// same membership — never share a frontier.
+func (e *Evaluator) frontierFor(s NonrigidSet) *frontier {
+	if fr, ok := e.frontiers[s]; ok {
+		return fr
 	}
-	tbl := make([]types.ProcSet, e.sys.NumPoints())
-	e.parallelItems(len(tbl), parMinWork, func(lo, hi int) {
+	np := e.sys.NumPoints()
+	n := e.sys.Params.N
+	fr := &frontier{
+		smem:  make([]types.ProcSet, np),
+		masks: make([]*Bits, n),
+	}
+	for i := range fr.masks {
+		fr.masks[i] = NewBits(np)
+	}
+	// One word-aligned sharded pass fills both the membership table and
+	// the per-processor masks (each shard owns its mask words).
+	e.parallelBits(np, func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
-			tbl[idx] = s.Members(e.sys, e.sys.PointAt(idx))
+			mem := s.Members(e.sys, e.sys.PointAt(idx))
+			fr.smem[idx] = mem
+			mem.ForEach(func(i types.ProcID) bool {
+				fr.masks[i].Set(idx, true)
+				return true
+			})
 		}
 	})
-	e.members[s] = tbl
-	return tbl
+	// S-occupied view classes in first-encounter order, deduplicated
+	// through a dense per-view table (IDs are small and dense).
+	seen := make([]bool, e.sys.Interner.Size())
+	for idx := 0; idx < np; idx++ {
+		pt := e.sys.PointAt(idx)
+		fr.smem[idx].ForEach(func(i types.ProcID) bool {
+			id := e.sys.ViewAt(pt, i)
+			if !seen[id] {
+				seen[id] = true
+				fr.classes = append(fr.classes, id)
+			}
+			return true
+		})
+	}
+	e.frontiers[s] = fr
+	return fr
+}
+
+// procClassesFor returns (building on first use) processor i's view
+// class partition. Classes depend only on the system, never on a
+// nonrigid set, so the table is shared by every K_i/B^S_i evaluation.
+func (e *Evaluator) procClassesFor(i types.ProcID) *procClasses {
+	if pc := e.classes[i]; pc != nil {
+		return pc
+	}
+	np := e.sys.NumPoints()
+	classNum := make([]int32, e.sys.Interner.Size())
+	for j := range classNum {
+		classNum[j] = -1
+	}
+	pc := &procClasses{classOf: make([]int32, np)}
+	for idx := 0; idx < np; idx++ {
+		id := e.sys.ViewAt(e.sys.PointAt(idx), i)
+		c := classNum[id]
+		if c < 0 {
+			c = int32(len(pc.classes))
+			classNum[id] = c
+			pc.classes = append(pc.classes, id)
+		}
+		pc.classOf[idx] = c
+	}
+	e.classes[i] = pc
+	return pc
 }
 
 // evalK computes K_i f (s == nil) or B^s_i f: at each point, the
@@ -307,30 +399,22 @@ func (e *Evaluator) membersTable(s NonrigidSet) []types.ProcSet {
 func (e *Evaluator) evalK(i types.ProcID, ft *Bits, s NonrigidSet) *Bits {
 	np := e.sys.NumPoints()
 	out := NewBits(np)
-	var smem []types.ProcSet
+	var mask *Bits
 	if s != nil {
-		smem = e.membersTable(s)
+		mask = e.frontierFor(s).masks[i]
 	}
-	// Truth of K_i f is constant on each view class; collect the
-	// distinct classes of processor i, conjoin f over each class in
-	// parallel (classes partition the indistinguishability scan), then
-	// fill the table over point shards.
-	classIdx := make(map[views.ID]int)
-	classes := make([]views.ID, 0, np/(e.sys.Horizon+1))
-	for idx := 0; idx < np; idx++ {
-		id := e.sys.ViewAt(e.sys.PointAt(idx), i)
-		if _, ok := classIdx[id]; !ok {
-			classIdx[id] = len(classes)
-			classes = append(classes, id)
-		}
-	}
-	vals := make([]bool, len(classes))
-	e.parallelItems(len(classes), 64, func(lo, hi int) {
+	// Truth of K_i f is constant on each view class; conjoin f over
+	// each class in parallel (classes partition the
+	// indistinguishability scan), then fill the table over point shards
+	// through the cached classOf index.
+	pc := e.procClassesFor(i)
+	vals := make([]bool, len(pc.classes))
+	e.parallelItems(len(pc.classes), 64, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			val := true
-			for _, q := range e.sys.PointsWithView(classes[c]) {
-				qi := e.sys.PointIndex(q)
-				if smem != nil && !smem[qi].Contains(i) {
+			for _, q := range e.sys.PointIdxWithView(pc.classes[c]) {
+				qi := int(q)
+				if mask != nil && !mask.Get(qi) {
 					continue
 				}
 				if !ft.Get(qi) {
@@ -341,9 +425,10 @@ func (e *Evaluator) evalK(i types.ProcID, ft *Bits, s NonrigidSet) *Bits {
 			vals[c] = val
 		}
 	})
+	classOf := pc.classOf
 	e.parallelBits(np, func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
-			if vals[classIdx[e.sys.ViewAt(e.sys.PointAt(idx), i)]] {
+			if vals[classOf[idx]] {
 				out.Set(idx, true)
 			}
 		}
@@ -351,52 +436,24 @@ func (e *Evaluator) evalK(i types.ProcID, ft *Bits, s NonrigidSet) *Bits {
 	return out
 }
 
-// evalE computes E_S f = ∧_{i∈S(pt)} B^S_i f.
+// evalE computes E_S f = ∧_{i∈S(pt)} B^S_i f as pure word operations:
+// starting from all-true, each processor i removes the points where i
+// is in S but B^S_i f fails — out &^= (masks[i] ∧ ¬B_i). Points with
+// S(pt) empty keep the vacuous truth (their mask bits are all zero).
 func (e *Evaluator) evalE(s NonrigidSet, ft *Bits) *Bits {
 	n := e.sys.Params.N
-	bTables := make([]*Bits, n)
-	for i := 0; i < n; i++ {
-		bTables[i] = e.evalK(types.ProcID(i), ft, s)
-	}
-	smem := e.membersTable(s)
-	out := NewBits(e.sys.NumPoints())
-	e.parallelBits(e.sys.NumPoints(), func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			ok := true
-			smem[idx].ForEach(func(p types.ProcID) bool {
-				if !bTables[p].Get(idx) {
-					ok = false
-					return false
-				}
-				return true
-			})
-			if ok {
-				out.Set(idx, true)
-			}
-		}
-	})
-	return out
-}
-
-// occupiedClasses returns, in first-encounter order, the distinct
-// views held at some point by a processor then in S — the
-// S-indistinguishability classes driving both reachability scans.
-func (e *Evaluator) occupiedClasses(smem []types.ProcSet) []views.ID {
-	seen := make(map[views.ID]bool)
-	var classes []views.ID
+	fr := e.frontierFor(s)
 	np := e.sys.NumPoints()
-	for idx := 0; idx < np; idx++ {
-		pt := e.sys.PointAt(idx)
-		smem[idx].ForEach(func(i types.ProcID) bool {
-			id := e.sys.ViewAt(pt, i)
-			if !seen[id] {
-				seen[id] = true
-				classes = append(classes, id)
-			}
-			return true
-		})
+	out := NewBits(np)
+	out.Fill(true)
+	tmp := NewBits(np)
+	for i := 0; i < n; i++ {
+		b := e.evalK(types.ProcID(i), ft, s)
+		tmp.CopyFrom(fr.masks[i])
+		tmp.AndNotWith(b)
+		out.AndNotWith(tmp)
 	}
-	return classes
+	return out
 }
 
 // unionClasses joins, for every class, the images under pos of the
@@ -406,13 +463,14 @@ func (e *Evaluator) occupiedClasses(smem []types.ProcSet) []views.ID {
 // unions themselves are near-free and applied sequentially, so the
 // union-find is never shared between writers. The resulting partition
 // is independent of shard boundaries and union order.
-func (e *Evaluator) unionClasses(uf *unionFind, classes []views.ID, smem []types.ProcSet, pos func(system.Point) int) {
-	type edge struct{ a, b int }
-	star := func(id views.ID, emit func(a, b int)) {
-		i := e.sys.Interner.Proc(id)
-		first := -1
-		for _, q := range e.sys.PointsWithView(id) {
-			if !smem[e.sys.PointIndex(q)].Contains(i) {
+func (e *Evaluator) unionClasses(uf *unionFind, fr *frontier, pos func(idx int32) int32) {
+	classes := fr.classes
+	type edge struct{ a, b int32 }
+	star := func(id views.ID, emit func(a, b int32)) {
+		mask := fr.masks[e.sys.Interner.Proc(id)]
+		first := int32(-1)
+		for _, q := range e.sys.PointIdxWithView(id) {
+			if !mask.Get(int(q)) {
 				continue
 			}
 			p := pos(q)
@@ -429,7 +487,7 @@ func (e *Evaluator) unionClasses(uf *unionFind, classes []views.ID, smem []types
 	}
 	if w <= 1 || len(classes) < 64 {
 		for _, id := range classes {
-			star(id, func(a, b int) { uf.union(a, b) })
+			star(id, func(a, b int32) { uf.union(a, b) })
 		}
 		return
 	}
@@ -449,7 +507,7 @@ func (e *Evaluator) unionClasses(uf *unionFind, classes []views.ID, smem []types
 			defer wg.Done()
 			var es []edge
 			for c := lo; c < hi; c++ {
-				star(classes[c], func(a, b int) { es = append(es, edge{a, b}) })
+				star(classes[c], func(a, b int32) { es = append(es, edge{a, b}) })
 			}
 			shardEdges[si] = es
 		}(si, lo, hi)
@@ -462,18 +520,19 @@ func (e *Evaluator) unionClasses(uf *unionFind, classes []views.ID, smem []types
 	}
 }
 
-// pointComponents returns (caching) the union-find over points whose
-// components are the C_S reachability classes: points pt, pt' are
-// joined iff some i ∈ S(pt) ∩ S(pt') has the same view at both.
-func (e *Evaluator) pointComponents(s NonrigidSet) *unionFind {
-	if uf, ok := e.pointComp[s]; ok {
-		return uf
+// pointComponents returns (caching on the frontier) the union-find
+// over points whose components are the C_S reachability classes:
+// points pt, pt' are joined iff some i ∈ S(pt) ∩ S(pt') has the same
+// view at both. The flattened root table is cached alongside, so
+// repeated C_S evaluations skip both the union pass and the flatten.
+func (e *Evaluator) pointComponents(fr *frontier) *unionFind {
+	if fr.pointComp != nil {
+		return fr.pointComp
 	}
-	smem := e.membersTable(s)
 	uf := newUnionFind(e.sys.NumPoints())
-	e.unionClasses(uf, e.occupiedClasses(smem), smem,
-		func(q system.Point) int { return e.sys.PointIndex(q) })
-	e.pointComp[s] = uf
+	e.unionClasses(uf, fr, func(idx int32) int32 { return idx })
+	fr.pointComp = uf
+	fr.pointRoots = uf.flatten()
 	if telemetry.Enabled() {
 		observeComponentSizes(uf, mReachPointSize)
 	}
@@ -484,12 +543,13 @@ func (e *Evaluator) pointComponents(s NonrigidSet) *unionFind {
 // S-occupied points it is the conjunction of f over the point's
 // reachability component (which includes the point itself).
 func (e *Evaluator) evalC(s NonrigidSet, ft *Bits) *Bits {
-	smem := e.membersTable(s)
-	uf := e.pointComponents(s)
+	fr := e.frontierFor(s)
+	smem := fr.smem
+	e.pointComponents(fr)
 	np := e.sys.NumPoints()
-	// flatten once so the parallel fill below reads roots without
-	// mutating the union-find's parent links.
-	roots := uf.flatten()
+	// The frontier caches the flattened roots, so the parallel fill
+	// below reads them without mutating the union-find's parent links.
+	roots := fr.pointRoots
 	compAll := make([]bool, np)
 	compSeen := make([]bool, np)
 	for idx := 0; idx < np; idx++ {
@@ -564,30 +624,21 @@ func (e *Evaluator) evalSuffix(ft *Bits, diamond bool) *Bits {
 	return out
 }
 
-// evalEDiamond computes E◇_S f = ∧_{i∈S(pt)} ◇ B^S_i f.
+// evalEDiamond computes E◇_S f = ∧_{i∈S(pt)} ◇ B^S_i f with the same
+// word-level kernel as evalE, over ◇ B^S_i f instead of B^S_i f.
 func (e *Evaluator) evalEDiamond(s NonrigidSet, ft *Bits) *Bits {
 	n := e.sys.Params.N
-	futures := make([]*Bits, n)
+	fr := e.frontierFor(s)
+	np := e.sys.NumPoints()
+	out := NewBits(np)
+	out.Fill(true)
+	tmp := NewBits(np)
 	for i := 0; i < n; i++ {
-		futures[i] = e.evalSuffix(e.evalK(types.ProcID(i), ft, s), true)
+		future := e.evalSuffix(e.evalK(types.ProcID(i), ft, s), true)
+		tmp.CopyFrom(fr.masks[i])
+		tmp.AndNotWith(future)
+		out.AndNotWith(tmp)
 	}
-	smem := e.membersTable(s)
-	out := NewBits(e.sys.NumPoints())
-	e.parallelBits(e.sys.NumPoints(), func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			ok := true
-			smem[idx].ForEach(func(p types.ProcID) bool {
-				if !futures[p].Get(idx) {
-					ok = false
-					return false
-				}
-				return true
-			})
-			if ok {
-				out.Set(idx, true)
-			}
-		}
-	})
 	return out
 }
 
@@ -614,19 +665,19 @@ func (e *Evaluator) evalCDiamond(s NonrigidSet, ft *Bits) *Bits {
 	}
 }
 
-// runComponents returns (caching) the union-find over runs whose
-// components are the S-□-reachability classes of Corollary 3.3: runs
-// r, r' are joined iff some processor i is in S at a point of each
-// with the same view at both.
-func (e *Evaluator) runComponents(s NonrigidSet) *unionFind {
-	if uf, ok := e.runComp[s]; ok {
-		return uf
+// runComponents returns (caching on the frontier) the union-find over
+// runs whose components are the S-□-reachability classes of Corollary
+// 3.3: runs r, r' are joined iff some processor i is in S at a point
+// of each with the same view at both.
+func (e *Evaluator) runComponents(fr *frontier) *unionFind {
+	if fr.runComp != nil {
+		return fr.runComp
 	}
-	smem := e.membersTable(s)
 	uf := newUnionFind(e.sys.NumRuns())
-	e.unionClasses(uf, e.occupiedClasses(smem), smem,
-		func(q system.Point) int { return q.Run })
-	e.runComp[s] = uf
+	stride := int32(e.sys.Horizon + 1)
+	e.unionClasses(uf, fr, func(idx int32) int32 { return idx / stride })
+	fr.runComp = uf
+	fr.runRoots = uf.flatten()
 	if telemetry.Enabled() {
 		observeComponentSizes(uf, mReachRunSize)
 	}
@@ -639,15 +690,16 @@ func (e *Evaluator) runComponents(s NonrigidSet) *unionFind {
 // so C□_S f holds there vacuously. The value is constant per run
 // (Lemma 3.4(g)).
 func (e *Evaluator) evalCBox(s NonrigidSet, ft *Bits) *Bits {
-	smem := e.membersTable(s)
-	uf := e.runComponents(s)
+	fr := e.frontierFor(s)
+	smem := fr.smem
+	e.runComponents(fr)
 	h := e.sys.Horizon
 	np := e.sys.NumPoints()
 	nr := e.sys.NumRuns()
 
-	// flatten once so the parallel fill below reads roots without
-	// mutating the union-find's parent links.
-	roots := uf.flatten()
+	// The frontier caches the flattened roots, so the parallel fill
+	// below reads them without mutating the union-find's parent links.
+	roots := fr.runRoots
 	// occupied[r]: whether run r has any S-occupied point.
 	// compAll[root]: f holds at every S-occupied point of the
 	// component's runs.
@@ -731,21 +783,25 @@ func (e *Evaluator) CBoxIterative(s NonrigidSet, f Formula) *Bits {
 	}
 }
 
-// unionFind is a standard disjoint-set structure.
+// unionFind is a standard disjoint-set structure. Elements are int32:
+// the parent array is streamed by every reachability pass over
+// million-point systems, and halving its width halves the cache misses
+// that dominate component construction (point counts are bounded far
+// below 2^31 by memory long before the index type matters).
 type unionFind struct {
-	parent []int
+	parent []int32
 	rank   []uint8
 }
 
 func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]int, n), rank: make([]uint8, n)}
+	uf := &unionFind{parent: make([]int32, n), rank: make([]uint8, n)}
 	for i := range uf.parent {
-		uf.parent[i] = i
+		uf.parent[i] = int32(i)
 	}
 	return uf
 }
 
-func (uf *unionFind) find(x int) int {
+func (uf *unionFind) find(x int32) int32 {
 	for uf.parent[x] != x {
 		uf.parent[x] = uf.parent[uf.parent[x]]
 		x = uf.parent[x]
@@ -756,15 +812,15 @@ func (uf *unionFind) find(x int) int {
 // flatten returns the root of every element in one pass. find mutates
 // parent links (path compression), so concurrent readers must work
 // from a flattened snapshot rather than calling find directly.
-func (uf *unionFind) flatten() []int {
-	roots := make([]int, len(uf.parent))
+func (uf *unionFind) flatten() []int32 {
+	roots := make([]int32, len(uf.parent))
 	for i := range roots {
-		roots[i] = uf.find(i)
+		roots[i] = uf.find(int32(i))
 	}
 	return roots
 }
 
-func (uf *unionFind) union(a, b int) {
+func (uf *unionFind) union(a, b int32) {
 	ra, rb := uf.find(a), uf.find(b)
 	if ra == rb {
 		return

@@ -7,12 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/eventual-agreement/eba/internal/stats"
 	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
@@ -118,16 +118,9 @@ func RunLoad(ctx context.Context, baseURL string, reqs []Request, workers, total
 	if elapsed > 0 {
 		rep.QPS = float64(len(latencies)) / elapsed.Seconds()
 	}
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		pct := func(p float64) float64 {
-			idx := int(p * float64(len(latencies)-1))
-			return float64(latencies[idx].Microseconds()) / 1e3
-		}
-		rep.P50MS = pct(0.50)
-		rep.P95MS = pct(0.95)
-		rep.MaxMS = float64(latencies[len(latencies)-1].Microseconds()) / 1e3
-	}
+	rep.P50MS = stats.PercentileMS(latencies, 0.50)
+	rep.P95MS = stats.PercentileMS(latencies, 0.95)
+	rep.MaxMS = stats.PercentileMS(latencies, 1.0)
 	return rep, nil
 }
 
@@ -187,15 +180,6 @@ type OverloadReport struct {
 	RecoveredOK   bool           `json:"recovered_ok"`
 	RecoveryS     float64        `json:"recovery_s"`
 	ElapsedS      float64        `json:"elapsed_s"`
-}
-
-func pctile(lat []time.Duration, p float64) float64 {
-	if len(lat) == 0 {
-		return 0
-	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	idx := int(p * float64(len(lat)-1))
-	return float64(lat[idx].Microseconds()) / 1e3
 }
 
 // RunOverload ramps offered QPS from StartQPS to PeakQPS across Steps
@@ -290,8 +274,8 @@ func RunOverload(ctx context.Context, baseURL string, reqs []Request, cfg Overlo
 			base = append(base, d)
 		}
 	}
-	rep.UnloadedP50MS = pctile(base, 0.50)
-	rep.UnloadedP99MS = pctile(base, 0.99)
+	rep.UnloadedP50MS = stats.PercentileMS(base, 0.50)
+	rep.UnloadedP99MS = stats.PercentileMS(base, 0.99)
 
 	for step := 0; step < cfg.Steps; step++ {
 		qps := cfg.StartQPS
@@ -343,8 +327,8 @@ func RunOverload(ctx context.Context, baseURL string, reqs []Request, cfg Overlo
 			sr.ShedRate = float64(sr.Shed429+sr.Shed503) / float64(sr.Offered)
 		}
 		sr.GoodputQPS = float64(sr.OK) / cfg.StepDur.Seconds()
-		sr.P50MS = pctile(lat, 0.50)
-		sr.P99MS = pctile(lat, 0.99)
+		sr.P50MS = stats.PercentileMS(lat, 0.50)
+		sr.P99MS = stats.PercentileMS(lat, 0.99)
 		rep.Steps = append(rep.Steps, sr)
 		rep.TotalOffered += sr.Offered
 		rep.TotalOK += sr.OK

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refPercentileMS is the definitional reference: the smallest sample v
+// such that at least ceil(p*N) samples are <= v, converted the same
+// way the production helper converts (truncating Microseconds / 1e3).
+func refPercentileMS(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	need := int(p * float64(len(sorted)))
+	if float64(need) < p*float64(len(sorted)) {
+		need++ // ceil
+	}
+	if need < 1 {
+		need = 1
+	}
+	if need > len(sorted) {
+		need = len(sorted)
+	}
+	for _, v := range sorted {
+		atMost := 0
+		for _, u := range sorted {
+			if u <= v {
+				atMost++
+			}
+		}
+		if atMost >= need {
+			return float64(v.Microseconds()) / 1e3
+		}
+	}
+	return float64(sorted[len(sorted)-1].Microseconds()) / 1e3
+}
+
+func TestPercentileMSEmpty(t *testing.T) {
+	if got := PercentileMS(nil, 0.99); got != 0 {
+		t.Errorf("empty sample p99 = %v, want 0", got)
+	}
+	if got := PercentileMS([]time.Duration{}, 0.50); got != 0 {
+		t.Errorf("empty sample p50 = %v, want 0", got)
+	}
+}
+
+func TestPercentileMSSingleSample(t *testing.T) {
+	lat := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0.01, 0.50, 0.95, 0.99, 1.0} {
+		if got := PercentileMS(lat, p); got != 7.0 {
+			t.Errorf("N=1 p%.0f = %v, want 7", p*100, got)
+		}
+	}
+}
+
+// TestPercentileMSSmallSampleTail pins the bug the shared helper fixed:
+// a p99 over fewer than 100 samples must report the maximum (nearest
+// rank ceil(0.99*N) = N for N < 100), where the old int(p*(N-1)) math
+// truncated to the second-largest sample.
+func TestPercentileMSSmallSampleTail(t *testing.T) {
+	for _, n := range []int{2, 10, 50, 99} {
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			lat[i] = time.Duration(i+1) * time.Millisecond
+		}
+		want := float64(n) // the maximum, in ms
+		if got := PercentileMS(lat, 0.99); got != want {
+			t.Errorf("N=%d p99 = %v, want max %v", n, got, want)
+		}
+		// The old math: int(0.99*(N-1)) — for N=50 that is index 48.
+		if old := float64(lat[int(0.99*float64(n-1))].Microseconds()) / 1e3; n > 1 && old == want {
+			t.Errorf("N=%d: old buggy index accidentally agrees; test lost its teeth", n)
+		}
+	}
+}
+
+func TestPercentileMSAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ps := []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0}
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(130) + 1
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			lat[i] = time.Duration(rng.Intn(50_000)) * time.Microsecond
+		}
+		for _, p := range ps {
+			// Copy per call: the helper sorts in place and the
+			// reference must see the same multiset.
+			in := append([]time.Duration(nil), lat...)
+			got := PercentileMS(in, p)
+			want := refPercentileMS(lat, p)
+			if got != want {
+				t.Fatalf("trial %d N=%d p=%v: got %v, reference %v (sample %v)", trial, n, p, got, want, lat)
+			}
+		}
+	}
+}
+
+func TestPercentileMSSortsInPlaceOnce(t *testing.T) {
+	lat := []time.Duration{5 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond}
+	if got := PercentileMS(lat, 0.50); got != 3.0 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	for i := 1; i < len(lat); i++ {
+		if lat[i] < lat[i-1] {
+			t.Fatalf("sample not left sorted: %v", lat)
+		}
+	}
+	if got := PercentileMS(lat, 1.0); got != 5.0 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+}

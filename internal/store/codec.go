@@ -20,6 +20,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 
 	"github.com/eventual-agreement/eba/internal/failures"
@@ -85,6 +86,20 @@ const (
 	snapVersion = 1
 	digestLen   = sha256.Size
 )
+
+// ErrVersionSkew marks a blob whose envelope is intact — magic right,
+// checksum verified — but whose version tag is not the one this build
+// reads. That is not corruption: it is most likely a snapshot written
+// by a newer build sharing the cache directory (a rolling upgrade, a
+// downgrade, two binaries on one volume). Callers must fall back to
+// recomputing, NOT quarantine or overwrite the file — the newer build
+// still wants it. Test with errors.Is.
+var ErrVersionSkew = errors.New("store: version skew (valid blob from a different build)")
+
+// versionSkewError wraps ErrVersionSkew with the observed version.
+func versionSkewError(kind string, got uint64) error {
+	return fmt.Errorf("store: %s version %d, this build reads %d: %w", kind, got, snapVersion, ErrVersionSkew)
+}
 
 // EncodeSystem serializes the system under its key. The encoding is
 // deterministic: enumeration order, interner IDs, and pattern tables
@@ -159,9 +174,9 @@ func Digest(data []byte) string {
 
 // DecodeSystem decodes a snapshot produced by EncodeSystem, verifying
 // the magic, the version, and the checksum before reconstructing
-// anything. The returned system is fully usable: the interner is
-// restored with its hash-cons index, and the byView indistinguishability
-// index is rebuilt by system.Reassemble.
+// anything. The returned system is fully usable: the interner's
+// hash-cons index is rebuilt lazily on first intern, and the byView
+// indistinguishability index is rebuilt by system.Reassemble.
 func DecodeSystem(data []byte) (Key, *system.System, error) {
 	var key Key
 	if len(data) < len(snapMagic)+1+digestLen {
@@ -176,7 +191,7 @@ func DecodeSystem(data []byte) (Key, *system.System, error) {
 	}
 	d := decoder{buf: payload[len(snapMagic):]}
 	if v := d.uvarint(); v != snapVersion {
-		return key, nil, fmt.Errorf("store: snapshot version %d, this build reads %d", v, snapVersion)
+		return key, nil, versionSkewError("snapshot", v)
 	}
 	key.N = int(d.uvarint())
 	key.T = int(d.uvarint())
@@ -240,8 +255,10 @@ func DecodeSystem(data []byte) (Key, *system.System, error) {
 			return key, nil, fmt.Errorf("store: run %d references pattern %d of %d", i, pi, len(pats))
 		}
 		vt := make([][]views.ID, key.Horizon+1)
+		// One flat backing array per run, sliced into rows.
+		flat := make([]views.ID, (key.Horizon+1)*key.N)
 		for m := 0; m <= key.Horizon; m++ {
-			row := make([]views.ID, key.N)
+			row := flat[m*key.N : (m+1)*key.N : (m+1)*key.N]
 			for p := 0; p < key.N; p++ {
 				row[p] = views.ID(d.uvarint())
 			}
@@ -301,7 +318,7 @@ func DecodeResult(data []byte) (formula string, tbl []byte, err error) {
 	}
 	d := decoder{buf: payload[len(bitsMagic):]}
 	if v := d.uvarint(); v != snapVersion {
-		return "", nil, fmt.Errorf("store: result version %d, this build reads %d", v, snapVersion)
+		return "", nil, versionSkewError("result", v)
 	}
 	formula = string(d.bytes(int(d.uvarint())))
 	tbl = d.bytes(int(d.uvarint()))
@@ -317,7 +334,10 @@ func DecodeResult(data []byte) (formula string, tbl []byte, err error) {
 // verifyEnvelope checks the magic ∥ version ∥ ... ∥ sha256 envelope
 // shared by snapshots and results without decoding the body. It is the
 // boot-time recovery scan's cheap integrity test: a file that fails it
-// is partial or corrupt and gets quarantined instead of served.
+// is partial or corrupt and gets quarantined instead of served — with
+// one exception. A blob whose checksum verifies but whose version tag
+// is foreign returns ErrVersionSkew, which callers treat as "not mine,
+// but not broken": skip it, never quarantine it.
 func verifyEnvelope(kind, magic string, data []byte) error {
 	if len(data) < len(magic)+1+digestLen {
 		return fmt.Errorf("store: %s too short (%d bytes)", kind, len(data))
@@ -329,8 +349,12 @@ func verifyEnvelope(kind, magic string, data []byte) error {
 	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], trailer) {
 		return fmt.Errorf("store: %s checksum mismatch (truncated or corrupted)", kind)
 	}
-	if v, k := binary.Uvarint(payload[len(magic):]); k <= 0 || v != snapVersion {
-		return fmt.Errorf("store: %s version not %d", kind, snapVersion)
+	v, k := binary.Uvarint(payload[len(magic):])
+	if k <= 0 {
+		return fmt.Errorf("store: %s version tag unreadable", kind)
+	}
+	if v != snapVersion {
+		return versionSkewError(kind, v)
 	}
 	return nil
 }

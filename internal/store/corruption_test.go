@@ -1,11 +1,16 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"github.com/eventual-agreement/eba/internal/knowledge"
+	"github.com/eventual-agreement/eba/internal/system"
 )
 
 // corruptions enumerates the disk-corruption shapes the store must
@@ -25,16 +30,18 @@ var corruptions = []struct {
 		out[len(out)-1] ^= 0xff
 		return out
 	}},
-	{"version-skew", func(data []byte) []byte {
-		// Bump the version varint (offset = len(magic), value 1 → one
-		// byte) and recompute the trailer, so the checksum passes and
-		// the decoder must reject on the version check itself.
-		out := append([]byte(nil), data...)
-		out[len(snapMagic)] = snapVersion + 1
-		sum := sha256.Sum256(out[:len(out)-digestLen])
-		copy(out[len(out)-digestLen:], sum[:])
-		return out
-	}},
+}
+
+// skewVersion bumps the version varint (offset = len(magic), value 1 →
+// one byte) and recomputes the trailer, yielding a checksum-valid blob
+// that only the version check rejects — the shape a newer build's
+// snapshot has when it shares a cache directory with this one.
+func skewVersion(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	out[len(snapMagic)] = snapVersion + 1
+	sum := sha256.Sum256(out[:len(out)-digestLen])
+	copy(out[len(out)-digestLen:], sum[:])
+	return out
 }
 
 // TestCorruptionFallsBackWithoutPoisoning checks every corruption
@@ -110,5 +117,115 @@ func TestCorruptionFallsBackWithoutPoisoning(t *testing.T) {
 				t.Fatalf("rewritten snapshot not warm-loadable: origin %v err %v", origin, err)
 			}
 		})
+	}
+}
+
+// TestVersionSkewFallsBackWithoutDestroying pins the skew contract: a
+// snapshot whose only defect is a foreign version tag (checksum still
+// valid) is NOT corruption. The boot scan must leave it in place, the
+// read path must fall back to enumeration without quarantining it, and
+// — critically — the store must not overwrite the file with its own
+// encoding: the build that wrote it still wants those bytes.
+func TestVersionSkewFallsBackWithoutDestroying(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	s1, _ := countingStore(t, dir, 4)
+	if _, _, err := s1.System(key); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "systems", key.Slug()+".eba")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := skewVersion(data)
+	if _, _, derr := DecodeSystem(skewed); !errors.Is(derr, ErrVersionSkew) {
+		t.Fatalf("DecodeSystem on skewed blob: %v, want ErrVersionSkew", derr)
+	}
+	if verr := VerifySnapshot(skewed); !errors.Is(verr, ErrVersionSkew) {
+		t.Fatalf("VerifySnapshot on skewed blob: %v, want ErrVersionSkew", verr)
+	}
+	if err := os.WriteFile(path, skewed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the recovery scan must not touch the skewed file.
+	s2, count := countingStore(t, dir, 4)
+	if qf := s2.QuarantinedFiles(); len(qf) != 0 {
+		t.Fatalf("recovery scan quarantined skewed snapshot: %v", qf)
+	}
+	sys, origin, err := s2.System(key)
+	if err != nil || sys == nil {
+		t.Fatalf("load over skewed snapshot: %v", err)
+	}
+	if origin != OriginEnumerated {
+		t.Fatalf("origin %v, want enumerated fallback", origin)
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("%d enumerations, want 1", got)
+	}
+	if qf := s2.QuarantinedFiles(); len(qf) != 0 || s2.Stats().Quarantined != 0 {
+		t.Fatalf("read path quarantined skewed snapshot: %v", qf)
+	}
+	// The skewed bytes are still on disk, untouched.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, skewed) {
+		t.Fatal("skewed snapshot was overwritten; foreign builds' blobs must survive")
+	}
+}
+
+// TestResultVersionSkewFallsBack is the same contract for memoized
+// truth tables: a skewed .bits file is recomputed around, never
+// quarantined or overwritten.
+func TestResultVersionSkewFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	const formula = "K0 decided0"
+	compute := func(sys *system.System) (*knowledge.Bits, error) {
+		return knowledge.NewBits(sys.NumPoints()), nil
+	}
+	s1, _ := countingStore(t, dir, 4)
+	if _, _, err := s1.Result(key, formula, compute); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "results", "*", "*.bits"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one result file, got %v (%v)", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := skewVersion(data) // bitsMagic and snapMagic share a length
+	if _, _, derr := DecodeResult(skewed); !errors.Is(derr, ErrVersionSkew) {
+		t.Fatalf("DecodeResult on skewed blob: %v, want ErrVersionSkew", derr)
+	}
+	if err := os.WriteFile(matches[0], skewed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := countingStore(t, dir, 4)
+	if qf := s2.QuarantinedFiles(); len(qf) != 0 {
+		t.Fatalf("recovery scan quarantined skewed result: %v", qf)
+	}
+	computes := 0
+	if _, origin, err := s2.Result(key, formula, func(sys *system.System) (*knowledge.Bits, error) {
+		computes++
+		return compute(sys)
+	}); err != nil || origin != OriginEnumerated || computes != 1 {
+		t.Fatalf("skewed result: origin %v err %v computes %d, want recompute", origin, err, computes)
+	}
+	if qf := s2.QuarantinedFiles(); len(qf) != 0 {
+		t.Fatalf("read path quarantined skewed result: %v", qf)
+	}
+	after, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, skewed) {
+		t.Fatal("skewed result was overwritten")
 	}
 }

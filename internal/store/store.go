@@ -265,7 +265,14 @@ func (s *Store) scanDir(dir string, verify func([]byte) error) {
 		if err != nil {
 			continue // unreadable now ≠ corrupt; the read path retries
 		}
-		if verify(data) != nil {
+		if verr := verify(data); verr != nil {
+			if errors.Is(verr, ErrVersionSkew) {
+				// Checksum-valid blob from a different build sharing the
+				// directory. It is not evidence of a crash — leave it in
+				// place for the build that wrote it; our read path falls
+				// back to enumeration without touching it.
+				continue
+			}
 			s.noteDiskError()
 			s.quarantine(path)
 		}
@@ -441,6 +448,7 @@ func (s *Store) SystemCtx(ctx context.Context, key Key) (*system.System, Origin,
 // load misses memory: try the disk snapshot, then enumerate and
 // persist. Called without the lock held.
 func (s *Store) load(ctx context.Context, key Key) (*system.System, string, int, Origin, error) {
+	versionSkewed := false
 	if s.dir != "" {
 		path := s.systemPath(key)
 		if data, err := s.fsys.ReadFile(path); err == nil {
@@ -449,11 +457,18 @@ func (s *Store) load(ctx context.Context, key Key) (*system.System, string, int,
 			gotKey, sys, derr := DecodeSystem(data)
 			decSp.End()
 			switch {
+			case errors.Is(derr, ErrVersionSkew):
+				// A foreign build's valid snapshot is not corruption:
+				// leave the file exactly as it is (no quarantine, and no
+				// overwrite below — the build that wrote it still wants
+				// it) and serve this request from a fresh enumeration,
+				// memory-only.
+				versionSkewed = true
 			case derr != nil:
-				// A bad snapshot (corruption, version skew) is not
-				// fatal: quarantine the evidence and fall through to
-				// enumeration, which rewrites a fresh one. Surface the
-				// event in stats and telemetry.
+				// A corrupt snapshot is not fatal: quarantine the
+				// evidence and fall through to enumeration, which
+				// rewrites a fresh one. Surface the event in stats and
+				// telemetry.
 				s.noteDiskError()
 				s.quarantine(path)
 			case gotKey != key:
@@ -483,7 +498,7 @@ func (s *Store) load(ctx context.Context, key Key) (*system.System, string, int,
 	mSysEnum.Inc()
 
 	digest, size := "", 0
-	if s.dir != "" {
+	if s.dir != "" && !versionSkewed {
 		data, err := EncodeSystem(key, sys)
 		if err != nil {
 			return nil, "", 0, OriginEnumerated, err
@@ -613,8 +628,14 @@ func (s *Store) loadResult(ctx context.Context, sys *system.System, digest, form
 					return &tbl, OriginDisk, nil
 				}
 			}
-			s.noteDiskError()
-			s.quarantine(path)
+			if errors.Is(derr, ErrVersionSkew) {
+				// Foreign build's valid result: recompute for this
+				// request but neither quarantine nor overwrite the file.
+				persistable = false
+			} else {
+				s.noteDiskError()
+				s.quarantine(path)
+			}
 		}
 	}
 	_, sp := telemetry.StartSpan(ctx, "store.compute")

@@ -128,7 +128,6 @@ func FromPatternsParallel(params types.Params, mode failures.Mode, horizon int, 
 		Mode:     mode,
 		Horizon:  horizon,
 		Interner: in,
-		byView:   make(map[views.ID][]Point),
 	}
 	sys.Runs = make([]*Run, 0, items)
 	for _, sh := range shards {
@@ -142,25 +141,22 @@ func FromPatternsParallel(params types.Params, mode failures.Mode, horizon int, 
 				Pattern: pats[item/nconfigs],
 				Views:   make([][]views.ID, horizon+1),
 			}
+			// One flat backing array per run, sliced into rows.
+			flat := make([]views.ID, (horizon+1)*params.N)
 			for m := 0; m <= horizon; m++ {
-				row := make([]views.ID, params.N)
+				row := flat[m*params.N : (m+1)*params.N : (m+1)*params.N]
 				for p := 0; p < params.N; p++ {
 					row[p] = imp.Import(rv[m][p])
 				}
 				run.Views[m] = row
 			}
 			sys.Runs = append(sys.Runs, run)
-			for m := 0; m <= horizon; m++ {
-				pt := Point{Run: run.Index, Time: types.Round(m)}
-				for p := 0; p < params.N; p++ {
-					sys.byView[run.Views[m][p]] = append(sys.byView[run.Views[m][p]], pt)
-				}
-			}
 		}
 		// Release the worker-local interner and view tables as soon as
 		// they are merged; for big systems they dominate peak memory.
 		sh.in, sh.runs = nil, nil
 	}
+	sys.buildByView()
 	mParMergeSeconds.Observe(time.Since(mergeStart).Seconds())
 	mRunsEnumerated.Add(uint64(len(sys.Runs)))
 	mPointsEnumerated.Add(uint64(sys.NumPoints()))

@@ -38,7 +38,6 @@ func Reassemble(params types.Params, mode failures.Mode, horizon int, in *views.
 		Horizon:  horizon,
 		Interner: in,
 		Runs:     runs,
-		byView:   make(map[views.ID][]Point),
 	}
 	for r, run := range runs {
 		if run.Pattern == nil {
@@ -62,7 +61,6 @@ func Reassemble(params types.Params, mode failures.Mode, horizon int, in *views.
 			if len(run.Views[m]) != params.N {
 				return nil, fmt.Errorf("system: run %d time %d has %d views, want %d", r, m, len(run.Views[m]), params.N)
 			}
-			pt := Point{Run: r, Time: types.Round(m)}
 			for p := 0; p < params.N; p++ {
 				id := run.Views[m][p]
 				if id < 0 || int(id) >= in.Size() {
@@ -72,9 +70,9 @@ func Reassemble(params types.Params, mode failures.Mode, horizon int, in *views.
 					return nil, fmt.Errorf("system: run %d time %d: view %d is (p%d,t%d), want (p%d,t%d)",
 						r, m, id, in.Proc(id), in.Time(id), p, m)
 				}
-				sys.byView[id] = append(sys.byView[id], pt)
 			}
 		}
 	}
+	sys.buildByView()
 	return sys, nil
 }

@@ -67,10 +67,19 @@ type System struct {
 	Interner *views.Interner
 	Runs     []*Run
 
-	// byView maps a view ID to every point at which the view's owner
-	// holds it. Views encode owner and time, so all points in a list
-	// share the same time.
-	byView map[views.ID][]Point
+	// byView indexes, for every view ID, the points at which the view's
+	// owner holds it. View IDs are dense small integers, so the index is
+	// a counting sort over one backing array rather than a map of
+	// slices: byViewIdx holds the dense point indices of all occurrences
+	// grouped by view ID (run-major within a group, matching enumeration
+	// order) and byViewOff[id]..byViewOff[id+1] brackets view id's
+	// group. Indices rather than Points keep the array at 4 bytes per
+	// entry — the reachability kernels stream the whole thing, so its
+	// footprint is cache traffic. Views encode owner and time, so all
+	// points in a group share the same time. Built once by buildByView
+	// after the run table is final.
+	byViewOff []int
+	byViewIdx []int32
 }
 
 // Enumerate builds the exhaustive system for the mode: all initial
@@ -126,7 +135,6 @@ func FromPatterns(params types.Params, mode failures.Mode, horizon int, pats []*
 		Mode:     mode,
 		Horizon:  horizon,
 		Interner: in,
-		byView:   make(map[views.ID][]Point),
 	}
 	nconfigs := uint64(1) << uint(params.N)
 	sys.Runs = make([]*Run, 0, len(pats)*int(nconfigs))
@@ -140,15 +148,9 @@ func FromPatterns(params types.Params, mode failures.Mode, horizon int, pats []*
 				Views:   views.BuildRun(in, cfg, pat),
 			}
 			sys.Runs = append(sys.Runs, run)
-			for m := 0; m <= horizon; m++ {
-				pt := Point{Run: run.Index, Time: types.Round(m)}
-				for p := 0; p < params.N; p++ {
-					id := run.Views[m][p]
-					sys.byView[id] = append(sys.byView[id], pt)
-				}
-			}
 		}
 	}
+	sys.buildByView()
 	mRunsEnumerated.Add(uint64(len(sys.Runs)))
 	mPointsEnumerated.Add(uint64(sys.NumPoints()))
 	return sys, nil
@@ -204,11 +206,66 @@ func (s *System) ViewAt(pt Point, p types.ProcID) views.ID {
 	return s.Runs[pt.Run].Views[pt.Time][p]
 }
 
-// PointsWithView returns every point at which the view's owner holds
-// exactly this view — the indistinguishability class driving K_i and
-// B_i. The returned slice is owned by the system; do not modify.
+// buildByView (re)derives the byView index from the final run table
+// with a two-pass counting sort: count occurrences per view ID, prefix
+// sum into group offsets, then fill one backing array in enumeration
+// order so each group lists its points run-major. All three builders
+// (FromPatterns, FromPatternsParallel, Reassemble) call it after the
+// run table is complete; for omission-n4-t2 it replaces ~4.8M map
+// appends with two dense walks and two allocations.
+func (s *System) buildByView() {
+	size := s.Interner.Size()
+	off := make([]int, size+1)
+	for _, run := range s.Runs {
+		for m := 0; m <= s.Horizon; m++ {
+			for _, id := range run.Views[m] {
+				off[id+1]++
+			}
+		}
+	}
+	for i := 0; i < size; i++ {
+		off[i+1] += off[i]
+	}
+	idxs := make([]int32, off[size])
+	cursor := make([]int, size)
+	for _, run := range s.Runs {
+		for m := 0; m <= s.Horizon; m++ {
+			pi := int32(run.Index*(s.Horizon+1) + m)
+			for _, id := range run.Views[m] {
+				idxs[off[id]+cursor[id]] = pi
+				cursor[id]++
+			}
+		}
+	}
+	s.byViewOff = off
+	s.byViewIdx = idxs
+}
+
+// PointIdxWithView returns the dense point indices (PointIndex order)
+// at which the view's owner holds exactly this view — the
+// indistinguishability class driving K_i and B_i, in the form the
+// word-level kernels consume. The returned slice is owned by the
+// system; do not modify.
+func (s *System) PointIdxWithView(id views.ID) []int32 {
+	if id < 0 || int(id) >= len(s.byViewOff)-1 {
+		return nil
+	}
+	return s.byViewIdx[s.byViewOff[id]:s.byViewOff[id+1]:s.byViewOff[id+1]]
+}
+
+// PointsWithView is PointIdxWithView materialized as Points. The slice
+// is freshly allocated per call; hot paths should iterate the index
+// form instead.
 func (s *System) PointsWithView(id views.ID) []Point {
-	return s.byView[id]
+	idxs := s.PointIdxWithView(id)
+	if idxs == nil {
+		return nil
+	}
+	pts := make([]Point, len(idxs))
+	for k, pi := range idxs {
+		pts[k] = s.PointAt(int(pi))
+	}
+	return pts
 }
 
 // RunOf returns the run containing the point.

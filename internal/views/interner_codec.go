@@ -3,7 +3,6 @@ package views
 import (
 	"encoding/binary"
 	"fmt"
-	"strconv"
 
 	"github.com/eventual-agreement/eba/internal/types"
 )
@@ -39,13 +38,16 @@ func MarshalInterner(in *Interner) []byte {
 }
 
 // UnmarshalInterner reconstructs an interner serialized by
-// MarshalInterner, rebuilding both the node table and the hash-cons
-// index (so the result is indistinguishable from the original: view
-// IDs are identical, and further interning dedups against the restored
-// views). Unlike Unmarshal, which re-interns one view tree through the
-// public Leaf/Extend path, this decoder appends nodes directly —
-// restoring a snapshot must not pay the per-occurrence hash-cons cost
-// that made enumeration expensive in the first place.
+// MarshalInterner. The node table is rebuilt with every structural
+// invariant checked (child ownership, times, own-previous-view), but
+// the hash-cons index is NOT rebuilt here: restored interners are
+// queried far more often than extended, so the index — one map insert
+// per node, the expensive part of a restore — is reconstructed lazily
+// by the first Leaf/Extend call (see Interner.ensureIndex). View IDs
+// are identical to the original's, and further interning still dedups
+// against the restored views. Child arrays are carved from one arena
+// block sized up front, so a restore costs O(1) allocations for the
+// node storage instead of one per interior node.
 func UnmarshalInterner(data []byte) (*Interner, error) {
 	r := reader{buf: data}
 	nU, err := r.uvarint()
@@ -65,6 +67,7 @@ func UnmarshalInterner(data []byte) (*Interner, error) {
 		return nil, fmt.Errorf("views: interner claims %d nodes (max %d)", count, maxNodes)
 	}
 	in := NewInterner(n)
+	in.index = nil // rebuilt lazily on first intern
 	in.nodes = make([]node, 0, count)
 	in.knownVals = make([][]types.Value, count)
 	in.faultEv = make([]types.ProcSet, count)
@@ -72,9 +75,9 @@ func UnmarshalInterner(data []byte) (*Interner, error) {
 	in.acceptSets = make([][]types.ProcSet, count)
 	in.acceptOK = make([]bool, count)
 	in.believes0s = make([]int8, count)
-	// Reusable key buffer; the index keys must match intern()'s format
-	// byte for byte so later Leaf/Extend calls dedup correctly.
-	key := make([]byte, 0, 64)
+	if count > 0 {
+		in.fromArena = make([]ID, 0, int(count)*n)
+	}
 	for k := uint64(0); k < count; k++ {
 		procU, err := r.uvarint()
 		if err != nil {
@@ -88,7 +91,6 @@ func UnmarshalInterner(data []byte) (*Interner, error) {
 			return nil, err
 		}
 		nd := node{proc: types.ProcID(procU), time: types.Round(timeU)}
-		key = key[:0]
 		if timeU == 0 {
 			b, err := r.byte()
 			if err != nil {
@@ -98,15 +100,8 @@ func UnmarshalInterner(data []byte) (*Interner, error) {
 			if !nd.initial.Valid() {
 				return nil, fmt.Errorf("views: node %d: invalid initial value %d", k, b)
 			}
-			key = append(key, 'L')
-			key = strconv.AppendUint(key, procU, 10)
-			key = append(key, ':')
-			key = strconv.AppendInt(key, int64(nd.initial), 10)
 		} else {
-			nd.from = make([]ID, n)
-			key = append(key, 'N')
-			key = strconv.AppendUint(key, procU, 10)
-			key = append(key, ':')
+			nd.from = in.allocFrom(n)
 			for j := 0; j < n; j++ {
 				ref, err := r.uvarint()
 				if err != nil {
@@ -127,8 +122,6 @@ func UnmarshalInterner(data []byte) (*Interner, error) {
 					}
 					nd.from[j] = ID(ref - 1)
 				}
-				key = strconv.AppendInt(key, int64(nd.from[j]), 10)
-				key = append(key, ',')
 			}
 			own := nd.from[nd.proc]
 			if own == NoView {
@@ -136,10 +129,6 @@ func UnmarshalInterner(data []byte) (*Interner, error) {
 			}
 			nd.initial = in.nodes[own].initial
 		}
-		if _, dup := in.index[string(key)]; dup {
-			return nil, fmt.Errorf("views: node %d: duplicate view", k)
-		}
-		in.index[string(key)] = ID(k)
 		in.nodes = append(in.nodes, nd)
 	}
 	return in, nil

@@ -80,7 +80,20 @@ type node struct {
 type Interner struct {
 	n     int
 	nodes []node
+	// index maps a node's binary hash-cons key to its ID. It is nil
+	// after a snapshot restore (UnmarshalInterner): restored systems
+	// are queried, not extended, so the index is rebuilt lazily on the
+	// first intern instead of paying one map insert per restored node.
 	index map[string]ID
+	// keyBuf is the reusable scratch buffer hash-cons keys are built
+	// in; the hit path does zero allocations.
+	keyBuf []byte
+	// fromArena slab-allocates the nodes' child arrays: enumeration
+	// interns 10^5–10^6 nodes one Extend at a time, and carving their
+	// from-slices out of shared blocks keeps the allocator and the GC
+	// scanner off the hot path. Blocks are never freed individually —
+	// an arena lives exactly as long as its Interner.
+	fromArena []ID
 
 	// memoMu guards the lazily grown memo tables below (indexed by
 	// ID). It deliberately does not guard nodes/index: interning and
@@ -118,11 +131,66 @@ func (in *Interner) N() int { return in.n }
 // Size returns the number of distinct interned views.
 func (in *Interner) Size() int { return len(in.nodes) }
 
-func (in *Interner) intern(key string, nd node) ID {
-	if id, ok := in.index[key]; ok {
-		mInternHits.Inc()
-		return id
+// Hash-cons key layout. Keys are compact binary, built into the
+// interner's scratch buffer: a leaf is {'L', proc, value}; an interior
+// node is {'N', proc, 4 bytes little-endian (childID+1) per processor}
+// (+1 so NoView encodes as zero). The two shapes have different
+// lengths for every n, so they can never collide. Keys never leave the
+// interner except as map-key strings, allocated once per distinct view.
+const leafKeyLen = 3
+
+// appendKeyID appends a child reference to a key under construction.
+func appendKeyID(key []byte, v ID) []byte {
+	u := uint32(v + 1)
+	return append(key, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+}
+
+// fromArenaBlock is the child-array slab size, in IDs.
+const fromArenaBlock = 1 << 16
+
+// allocFrom carves an n-ID child array out of the arena.
+func (in *Interner) allocFrom(n int) []ID {
+	if len(in.fromArena)+n > cap(in.fromArena) {
+		block := fromArenaBlock
+		if n > block {
+			block = n
+		}
+		in.fromArena = make([]ID, 0, block)
 	}
+	lo := len(in.fromArena)
+	in.fromArena = in.fromArena[:lo+n]
+	return in.fromArena[lo : lo+n : lo+n]
+}
+
+// ensureIndex rebuilds the hash-cons index from the node table after a
+// snapshot restore. Restored interners are usually only queried; the
+// cost of the index is paid by the first caller that interns.
+func (in *Interner) ensureIndex() {
+	if in.index != nil {
+		return
+	}
+	idx := make(map[string]ID, len(in.nodes))
+	key := in.keyBuf[:0]
+	for i := range in.nodes {
+		nd := &in.nodes[i]
+		key = key[:0]
+		if nd.from == nil {
+			key = append(key, 'L', byte(nd.proc), byte(nd.initial))
+		} else {
+			key = append(key, 'N', byte(nd.proc))
+			for _, ch := range nd.from {
+				key = appendKeyID(key, ch)
+			}
+		}
+		idx[string(key)] = ID(i)
+	}
+	in.keyBuf = key[:0]
+	in.index = idx
+}
+
+// insert records a fresh node under its key; the caller has already
+// missed the index.
+func (in *Interner) insert(key []byte, nd node) ID {
 	mInternMisses.Inc()
 	var start time.Time
 	if telemetry.Enabled() {
@@ -130,7 +198,7 @@ func (in *Interner) intern(key string, nd node) ID {
 	}
 	id := ID(len(in.nodes))
 	in.nodes = append(in.nodes, nd)
-	in.index[key] = id
+	in.index[string(key)] = id
 	in.knownVals = append(in.knownVals, nil)
 	in.faultEv = append(in.faultEv, 0)
 	in.faultEvOK = append(in.faultEvOK, false)
@@ -152,8 +220,13 @@ func (in *Interner) Leaf(p types.ProcID, v types.Value) ID {
 	if !v.Valid() {
 		panic("views: Leaf with invalid initial value")
 	}
-	key := fmt.Sprintf("L%d:%d", p, v)
-	return in.intern(key, node{proc: p, time: 0, initial: v})
+	in.ensureIndex()
+	key := [leafKeyLen]byte{'L', byte(p), byte(v)}
+	if id, ok := in.index[string(key[:])]; ok {
+		mInternHits.Inc()
+		return id
+	}
+	return in.insert(key[:], node{proc: p, time: 0, initial: v})
 }
 
 // Extend interns the time-(m+1) view of processor p whose time-m view
@@ -168,9 +241,11 @@ func (in *Interner) Extend(p types.ProcID, own ID, received []ID) ID {
 	if ownNd.proc != p {
 		panic(fmt.Sprintf("views: Extend own view belongs to %d, not %d", ownNd.proc, p))
 	}
-	from := make([]ID, in.n)
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "N%d:", p)
+	in.ensureIndex()
+	// Build the key first: the common case is a hit, which must not
+	// allocate — neither the child array nor the key string.
+	key := in.keyBuf[:0]
+	key = append(key, 'N', byte(p))
 	for j := 0; j < in.n; j++ {
 		v := received[j]
 		if types.ProcID(j) == p {
@@ -185,10 +260,22 @@ func (in *Interner) Extend(p types.ProcID, own ID, received []ID) ID {
 				panic(fmt.Sprintf("views: Extend received[%d] at time %d, want %d", j, ch.time, ownNd.time))
 			}
 		}
-		from[j] = v
-		fmt.Fprintf(&sb, "%d,", v)
+		key = appendKeyID(key, v)
 	}
-	return in.intern(sb.String(), node{proc: p, time: ownNd.time + 1, initial: ownNd.initial, from: from})
+	in.keyBuf = key
+	if id, ok := in.index[string(key)]; ok {
+		mInternHits.Inc()
+		return id
+	}
+	from := in.allocFrom(in.n)
+	for j := 0; j < in.n; j++ {
+		if types.ProcID(j) == p {
+			from[j] = own
+		} else {
+			from[j] = received[j]
+		}
+	}
+	return in.insert(key, node{proc: p, time: ownNd.time + 1, initial: ownNd.initial, from: from})
 }
 
 func (in *Interner) node(id ID) *node {
