@@ -9,6 +9,8 @@
 //
 //	ebacheck -n 3 -t 1 -mode crash -h 3
 //	ebacheck -n 3 -t 1 -mode omission -h 3
+//	ebacheck -n 3 -t 1 -mode receiving-omission -h 2
+//	ebacheck -n 3 -t 1 -mode general-omission -h 2
 package main
 
 import (
@@ -31,7 +33,7 @@ func run() error {
 	var (
 		n        = flag.Int("n", 3, "processors")
 		t        = flag.Int("t", 1, "fault bound")
-		modeName = flag.String("mode", "crash", "crash | omission")
+		modeName = flag.String("mode", "crash", "crash | omission | receiving-omission | general-omission")
 		h        = flag.Int("h", 0, "horizon (default t+2)")
 		limit    = flag.Int("limit", 2_000_000, "omission pattern limit (0 = unlimited)")
 		parallel = flag.Int("parallel", 0, "worker bound for enumeration and evaluation (0 = all cores, 1 = sequential)")
@@ -46,14 +48,9 @@ func run() error {
 		*h = *t + 2
 	}
 
-	var mode eba.Mode
-	switch *modeName {
-	case "crash":
-		mode = eba.Crash
-	case "omission":
-		mode = eba.Omission
-	default:
-		return fmt.Errorf("unknown mode %q", *modeName)
+	mode, err := eba.ParseMode(*modeName)
+	if err != nil {
+		return err
 	}
 
 	params := eba.Params{N: *n, T: *t}

@@ -4,19 +4,26 @@
 // prescriptions; every generated system is additionally subjected to
 // the epistemic law catalog and the Thm 5.3 optimality oracle.
 //
-// Exit status is non-zero when any check fails; failures are appended
-// to a JSONL corpus (-corpus) whose records replay by seed:
+// Scenarios span all four failure modes (crash, sending omission,
+// receiving omission, general omission); -mode restricts the run to a
+// comma-separated subset.
 //
-//	ebaconform -seed <seed> -count 1
+// Exit status is non-zero when any check fails; failures are appended
+// to a JSONL corpus (-corpus) whose records replay by seed (plus the
+// run's -mode filter, recorded in the replay hint):
+//
+//	ebaconform -seed <seed> -count 1 [-mode receiving-omission]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/eventual-agreement/eba/internal/conform"
+	"github.com/eventual-agreement/eba/internal/failures"
 	"github.com/eventual-agreement/eba/internal/telemetry"
 )
 
@@ -29,7 +36,8 @@ func main() {
 		deadline = flag.Duration("deadline", 200*time.Millisecond, "live per-round receive deadline")
 		corpus   = flag.String("corpus", "conform-corpus.jsonl", "JSONL failure corpus path (empty = don't write)")
 		cacheDir = flag.String("cachedir", "", "snapshot store directory (empty = temp dir)")
-		mutant   = flag.String("mutant", "", "test-only fault injection: law | oracle | differential | cluster")
+		mutant   = flag.String("mutant", "", "test-only fault injection: law | oracle | differential | cluster | reconstruction | parity")
+		modeList = flag.String("mode", "", "comma-separated failure-mode filter: crash | omission | receiving-omission | general-omission (empty = all)")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
 	)
 	tele := telemetry.BindFlags(flag.CommandLine)
@@ -40,9 +48,22 @@ func main() {
 	}
 	defer tele.Close()
 
+	var modes []failures.Mode
+	if *modeList != "" {
+		for _, name := range strings.Split(*modeList, ",") {
+			m, err := failures.ParseMode(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ebaconform:", err)
+				os.Exit(2)
+			}
+			modes = append(modes, m)
+		}
+	}
+
 	opts := conform.Options{
 		Seed:     *seed,
 		Count:    *count,
+		Modes:    modes,
 		Budget:   *budget,
 		Parallel: *parallel,
 		Deadline: *deadline,

@@ -97,7 +97,7 @@ func run() error {
 		workers = flag.Int("workers", 8, "load mode: concurrent clients")
 		n       = flag.Int("n", 3, "load mode: processors")
 		t       = flag.Int("t", 1, "load mode: fault bound")
-		mode    = flag.String("mode", "crash", "load mode: crash | omission")
+		mode    = flag.String("mode", "crash", "load mode: crash | omission | receiving-omission | general-omission")
 		horizon = flag.Int("h", 0, "load mode: horizon (default t+2)")
 		limit   = flag.Int("limit", 0, "load mode: omission pattern limit (0 = default)")
 

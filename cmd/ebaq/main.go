@@ -62,7 +62,7 @@ func run() error {
 	var (
 		n        = flag.Int("n", 3, "processors")
 		t        = flag.Int("t", 1, "fault bound")
-		modeName = flag.String("mode", "crash", "crash | omission")
+		modeName = flag.String("mode", "crash", "crash | omission | receiving-omission | general-omission")
 		h        = flag.Int("h", 0, "horizon (default t+2)")
 		limit    = flag.Int("limit", 2_000_000, "omission pattern limit")
 		jsonOut  = flag.Bool("json", false, "emit the query result as JSON")

@@ -6,11 +6,15 @@
 //
 //	ebarun -protocol p0opt -mode crash -config 0111 -silent 0@2
 //	ebarun -protocol chain0 -mode omission -config 0111 -except 0@2-3 -live
+//	ebarun -protocol chain0 -mode receiving-omission -config 0111 -deaf 2@1
 //	ebarun -protocol floodset -config 1010
 //
 // Failure specs (comma-separated, all named processors are faulty):
 //
 //	-silent p@k     processor p sends nothing from round k on
+//	                (modes with sending faults)
+//	-deaf p@k       processor p receives nothing from round k on
+//	                (receiving-omission and general-omission modes)
 //	-except p@m-d   p is silent except one delivery to d in round m
 //	                (omission mode only)
 //
@@ -44,11 +48,12 @@ func main() {
 func run() error {
 	var (
 		protoName = flag.String("protocol", "p0opt", "p0 | p1 | p0opt | chain0 | floodset")
-		modeName  = flag.String("mode", "crash", "crash | omission")
+		modeName  = flag.String("mode", "crash", "crash | omission | receiving-omission | general-omission")
 		config    = flag.String("config", "0111", "initial values, one digit per processor")
 		tFlag     = flag.Int("t", -1, "fault bound (default: number of faulty processors, min 1)")
 		horizon   = flag.Int("h", 0, "rounds to run (default: t+2)")
 		silent    = flag.String("silent", "", "silent failures, e.g. 2@1,3@2")
+		deaf      = flag.String("deaf", "", "deaf failures (receiving modes), e.g. 2@1")
 		except    = flag.String("except", "", "silent-except-one failures, e.g. 0@2-1")
 		live      = flag.Bool("live", false, "run on the goroutine transport instead of the deterministic engine")
 		verbose   = flag.Bool("verbose", false, "trace every round and message (deterministic engine only)")
@@ -71,8 +76,8 @@ func run() error {
 		if *live || *verbose {
 			return fmt.Errorf("-chaos picks its own engine (drop -live/-verbose)")
 		}
-		if *silent != "" || *except != "" {
-			return fmt.Errorf("-chaos draws failures from the seed (drop -silent/-except)")
+		if *silent != "" || *deaf != "" || *except != "" {
+			return fmt.Errorf("-chaos draws failures from the seed (drop -silent/-deaf/-except)")
 		}
 	}
 
@@ -82,14 +87,9 @@ func run() error {
 	}
 	n := cfg.N()
 
-	var mode eba.Mode
-	switch *modeName {
-	case "crash":
-		mode = eba.Crash
-	case "omission":
-		mode = eba.Omission
-	default:
-		return fmt.Errorf("unknown mode %q", *modeName)
+	mode, err := eba.ParseMode(*modeName)
+	if err != nil {
+		return err
 	}
 
 	proto, err := pickProtocol(*protoName)
@@ -97,12 +97,18 @@ func run() error {
 		return err
 	}
 
-	specs, err := parseFailures(*silent, *except, n)
+	specs, err := parseFailures(*silent, *deaf, *except, n)
 	if err != nil {
 		return err
 	}
 	if len(specs.except) > 0 && mode != eba.Omission {
 		return fmt.Errorf("-except requires -mode omission")
+	}
+	if len(specs.silents) > 0 && !mode.HasSendingFaults() {
+		return fmt.Errorf("-silent requires a mode with sending faults (use -deaf in %s mode)", mode)
+	}
+	if len(specs.deafs) > 0 && !mode.HasReceivingFaults() {
+		return fmt.Errorf("-deaf requires -mode receiving-omission or general-omission")
 	}
 
 	t := *tFlag
@@ -342,13 +348,15 @@ func pickProtocol(name string) (eba.Protocol, error) {
 type failureSpecs struct {
 	faulty  map[eba.ProcID]bool
 	silents map[eba.ProcID]int // proc -> first silent round
+	deafs   map[eba.ProcID]int // proc -> first deaf round
 	except  map[eba.ProcID][2]int
 }
 
-func parseFailures(silent, except string, n int) (*failureSpecs, error) {
+func parseFailures(silent, deaf, except string, n int) (*failureSpecs, error) {
 	specs := &failureSpecs{
 		faulty:  make(map[eba.ProcID]bool),
 		silents: make(map[eba.ProcID]int),
+		deafs:   make(map[eba.ProcID]int),
 		except:  make(map[eba.ProcID][2]int),
 	}
 	addProc := func(p int) (eba.ProcID, error) {
@@ -375,6 +383,20 @@ func parseFailures(silent, except string, n int) (*failureSpecs, error) {
 			return nil, err
 		}
 		specs.silents[id] = k
+	}
+	for _, part := range splitList(deaf) {
+		var p, k int
+		if _, err := fmt.Sscanf(part, "%d@%d", &p, &k); err != nil {
+			return nil, fmt.Errorf("bad -deaf entry %q (want p@k)", part)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("deaf round %d < 1", k)
+		}
+		id, err := addProc(p)
+		if err != nil {
+			return nil, err
+		}
+		specs.deafs[id] = k
 	}
 	for _, part := range splitList(except) {
 		var p, m, d int
@@ -427,6 +449,14 @@ func buildPattern(mode eba.Mode, n, h int, specs *failureSpecs) (*eba.Pattern, e
 		b := &eba.Behavior{Omit: make([]eba.ProcSet, h)}
 		for r := k; r <= h; r++ {
 			b.Omit[r-1] = full(p)
+		}
+		behavior[p] = b
+	}
+	for p, k := range specs.deafs {
+		faulty = faulty.Add(p)
+		b := &eba.Behavior{Recv: make([]eba.ProcSet, h)}
+		for r := k; r <= h; r++ {
+			b.Recv[r-1] = full(p)
 		}
 		behavior[p] = b
 	}

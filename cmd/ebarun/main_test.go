@@ -35,34 +35,41 @@ func TestPickProtocol(t *testing.T) {
 }
 
 func TestParseFailures(t *testing.T) {
-	specs, err := parseFailures("2@1,3@2", "0@2-1", 4)
+	specs, err := parseFailures("2@1,3@2", "1@2", "0@2-1", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs.faulty) != 3 || specs.silents[2] != 1 || specs.silents[3] != 2 {
+	if len(specs.faulty) != 4 || specs.silents[2] != 1 || specs.silents[3] != 2 {
 		t.Fatalf("specs = %+v", specs)
+	}
+	if specs.deafs[1] != 2 {
+		t.Fatalf("deafs = %v", specs.deafs)
 	}
 	if specs.except[0] != [2]int{2, 1} {
 		t.Fatalf("except = %v", specs.except[0])
 	}
-	bad := []struct{ silent, except string }{
-		{"9@1", ""},      // out of range
-		{"1@0", ""},      // round < 1
-		{"x@1", ""},      // malformed
-		{"", "0@1-9"},    // dst out of range
-		{"", "0@0-1"},    // round < 1
-		{"", "junk"},     // malformed
-		{"1@1", "1@2-0"}, // duplicate processor
+	bad := []struct{ silent, deaf, except string }{
+		{"9@1", "", ""},      // out of range
+		{"1@0", "", ""},      // round < 1
+		{"x@1", "", ""},      // malformed
+		{"", "9@1", ""},      // deaf out of range
+		{"", "1@0", ""},      // deaf round < 1
+		{"", "x@1", ""},      // deaf malformed
+		{"", "", "0@1-9"},    // dst out of range
+		{"", "", "0@0-1"},    // round < 1
+		{"", "", "junk"},     // malformed
+		{"1@1", "", "1@2-0"}, // duplicate processor
+		{"1@1", "1@2", ""},   // duplicate across silent and deaf
 	}
 	for _, b := range bad {
-		if _, err := parseFailures(b.silent, b.except, 4); err == nil {
-			t.Fatalf("accepted silent=%q except=%q", b.silent, b.except)
+		if _, err := parseFailures(b.silent, b.deaf, b.except, 4); err == nil {
+			t.Fatalf("accepted silent=%q deaf=%q except=%q", b.silent, b.deaf, b.except)
 		}
 	}
 }
 
 func TestBuildPattern(t *testing.T) {
-	specs, err := parseFailures("2@2", "0@1-3", 4)
+	specs, err := parseFailures("2@2", "", "0@1-3", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,6 +87,27 @@ func TestBuildPattern(t *testing.T) {
 	// Processor 0 delivers only to 3 in round 1.
 	if !pat.Delivers(0, 1, 3) || pat.Delivers(0, 1, 1) || pat.Delivers(0, 2, 3) {
 		t.Fatal("except schedule wrong")
+	}
+
+	// A deaf receiver is a receiving-omission pattern: processor 1
+	// hears nobody from round 2 on, but still sends.
+	specs, err = parseFailures("", "1@2", "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err = buildPattern(eba.ReceivingOmission, 4, 3, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Faulty() != eba.ProcSet(0b10) {
+		t.Fatalf("faulty = %v", pat.Faulty())
+	}
+	if !pat.Delivers(0, 1, 1) || pat.Delivers(0, 2, 1) || !pat.Delivers(1, 2, 0) {
+		t.Fatal("deaf schedule wrong")
+	}
+	// A sending mode must reject the Recv schedule.
+	if _, err := buildPattern(eba.Omission, 4, 3, specs); err == nil {
+		t.Fatal("Recv schedule accepted in sending-omission mode")
 	}
 }
 

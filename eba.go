@@ -1,13 +1,15 @@
 // Package eba is a reproduction of Halpern, Moses, and Waarts,
 // "A Characterization of Eventual Byzantine Agreement" (PODC 1990):
 // a library for building, running, model-checking, and optimizing
-// eventual-Byzantine-agreement protocols in the crash and
-// sending-omission failure modes.
+// eventual-Byzantine-agreement protocols in the crash,
+// sending-omission, receiving-omission, and general-omission failure
+// modes (the latter two following arXiv:2305.06271).
 //
 // The package is a facade over the internal packages:
 //
-//   - failure patterns and adversaries (crash / sending omission),
-//     with exhaustive enumerators and seeded samplers;
+//   - failure patterns and adversaries (crash / sending omission /
+//     receiving omission / general omission), with exhaustive
+//     enumerators and seeded samplers;
 //   - two execution engines for the same Protocol interface: a
 //     deterministic synchronous round engine and a live goroutine/
 //     channel runtime with fault injection;
@@ -86,7 +88,8 @@ type (
 	// ProcSet is a set of processors.
 	ProcSet = types.ProcSet
 
-	// Mode is a failure mode: Crash or Omission.
+	// Mode is a failure mode: Crash, Omission, ReceivingOmission, or
+	// GeneralOmission.
 	Mode = failures.Mode
 	// Pattern is a failure pattern: who fails, and how.
 	Pattern = failures.Pattern
@@ -142,12 +145,19 @@ const (
 	One   = types.One
 	Unset = types.Unset
 
-	Crash    = failures.Crash
-	Omission = failures.Omission
+	Crash             = failures.Crash
+	Omission          = failures.Omission
+	ReceivingOmission = failures.ReceivingOmission
+	GeneralOmission   = failures.GeneralOmission
 
 	// NoView marks an absent message in a view.
 	NoView = views.NoView
 )
+
+// ParseMode maps a mode name ("crash", "omission",
+// "receiving-omission", "general-omission", or a short alias) to its
+// Mode; unknown names error with failures.ErrUnknownMode.
+func ParseMode(s string) (Mode, error) { return failures.ParseMode(s) }
 
 // ConfigFromBits builds the n-processor configuration whose processor
 // i has initial value bit i of mask.
@@ -161,9 +171,16 @@ func NewConfig(vals ...Value) (Config, error) { return types.NewConfig(vals...) 
 // FailureFree returns the pattern with no failures.
 func FailureFree(mode Mode, n, h int) *Pattern { return failures.FailureFree(mode, n, h) }
 
-// Silent makes processor p faulty and silent from round k on.
+// Silent makes processor p faulty and silent from round k on (modes
+// with sending faults).
 func Silent(mode Mode, n, h int, p ProcID, k int) *Pattern {
 	return failures.Silent(mode, n, h, p, k)
+}
+
+// Deaf makes processor p faulty and deaf from round k on: it receives
+// nothing from round k onward (modes with receiving faults).
+func Deaf(mode Mode, n, h int, p ProcID, k int) *Pattern {
+	return failures.Deaf(mode, n, h, p, k)
 }
 
 // SilentExcept makes p faulty and silent except for one delivery to
@@ -195,6 +212,28 @@ func SampleCrash(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
 // SampleOmission draws random omission patterns.
 func SampleOmission(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
 	return failures.SampleOmission(n, t, h, count, rng)
+}
+
+// EnumReceiving enumerates all receiving-omission patterns (limit > 0
+// bounds the count; 0 means unlimited).
+func EnumReceiving(n, t, h, limit int) ([]*Pattern, error) {
+	return failures.EnumReceiving(n, t, h, limit)
+}
+
+// EnumGeneral enumerates all canonical general-omission patterns
+// (limit > 0 bounds the count; 0 means unlimited).
+func EnumGeneral(n, t, h, limit int) ([]*Pattern, error) {
+	return failures.EnumGeneral(n, t, h, limit)
+}
+
+// SampleReceiving draws random receiving-omission patterns.
+func SampleReceiving(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
+	return failures.SampleReceiving(n, t, h, count, rng)
+}
+
+// SampleGeneral draws random canonical general-omission patterns.
+func SampleGeneral(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
+	return failures.SampleGeneral(n, t, h, count, rng)
 }
 
 // Engines.

@@ -13,9 +13,12 @@
 // a correct runtime must absorb without any visible effect.
 //
 // The paper's semantics make all of these the same thing: a required
-// message that does not arrive in its round is an omission by its
-// sender, whoever mangled the wire. The chaos planner confines faults
-// to at most t victim senders and, in crash mode, to crash-shaped
+// message that does not arrive in its round is an omission, whoever
+// mangled the wire — attributed to the victim sender in the crash and
+// sending-omission modes, to the victim receiver in the
+// receiving-omission mode, and to a minimal endpoint cover in the
+// general-omission mode. The chaos planner confines faults to links
+// incident to at most t victims and, in crash mode, to crash-shaped
 // schedules, so the pattern reconstructed from the run's observations
 // (failures.Observation) is again a legal pattern of the mode — which
 // is what lets every chaos run be replayed and cross-checked on the
@@ -207,7 +210,7 @@ func New(mode failures.Mode, params types.Params, h int, seed int64, allowed ...
 		return nil, err
 	}
 	if !mode.Valid() {
-		return nil, fmt.Errorf("chaos: invalid mode %v", mode)
+		return nil, fmt.Errorf("chaos: %w %v", failures.ErrUnknownMode, mode)
 	}
 	if h < 1 {
 		return nil, fmt.Errorf("chaos: horizon %d < 1", h)
@@ -251,10 +254,20 @@ func New(mode failures.Mode, params types.Params, h int, seed int64, allowed ...
 
 	behavior := make(map[types.ProcID]*failures.Behavior)
 	for _, v := range victims.Members() {
-		if mode == failures.Crash {
+		switch mode {
+		case failures.Crash:
 			p.planCrashVictim(rng, v, h, allowed, behavior)
-		} else {
+		case failures.Omission:
 			p.planOmissionVictim(rng, v, h, allowed, behavior)
+		case failures.ReceivingOmission:
+			p.planReceivingVictim(rng, v, h, allowed, behavior)
+		case failures.GeneralOmission:
+			p.planGeneralVictim(rng, v, h, victims, allowed, behavior)
+		default:
+			// Unreachable: mode.Valid() was checked above; keep the
+			// switch exhaustive so a future mode cannot silently fall
+			// into another planner.
+			return nil, fmt.Errorf("chaos: %w %v", failures.ErrUnknownMode, mode)
 		}
 	}
 
@@ -343,6 +356,105 @@ func (p *Plan) planOmissionVictim(rng *rand.Rand, v types.ProcID, h int, allowed
 				}
 				b.Omit[r-1] = b.Omit[r-1].Add(dst)
 				p.acts[key{v, types.Round(r), dst}] = Action{Mech: pointwise[rng.Intn(len(pointwise))]}
+			}
+		}
+	}
+	behavior[v] = b
+}
+
+// planReceivingVictim is planOmissionVictim mirrored onto the victim's
+// INBOUND links: possibly a one-way partition interval on one inbound
+// link, plus independent per-frame receive-drops. The wire mechanisms
+// are the same — a frame on the link s→v is dropped, delayed,
+// truncated, or its connection killed — only the attribution changes:
+// every one of these losses is v's receiving omission.
+func (p *Plan) planReceivingVictim(rng *rand.Rand, v types.ProcID, h int, allowed []Mechanism, behavior map[types.ProcID]*failures.Behavior) {
+	others := types.FullSet(p.N).Remove(v)
+	b := &failures.Behavior{Recv: make([]types.ProcSet, h)}
+
+	var pointwise []Mechanism
+	for _, m := range allowed {
+		if m != Partition {
+			pointwise = append(pointwise, m)
+		}
+	}
+	hasPartition := len(pointwise) < len(allowed)
+
+	if hasPartition && rng.Float64() < 0.5 {
+		members := others.Members()
+		src := members[rng.Intn(len(members))]
+		r0 := 1 + rng.Intn(h)
+		for r := r0; r <= h; r++ {
+			b.Recv[r-1] = b.Recv[r-1].Add(src)
+			p.acts[key{src, types.Round(r), v}] = Action{Mech: Partition}
+		}
+	}
+	if len(pointwise) > 0 {
+		for r := 1; r <= h; r++ {
+			for _, src := range others.Members() {
+				if b.Recv[r-1].Contains(src) || rng.Float64() >= 0.3 {
+					continue
+				}
+				b.Recv[r-1] = b.Recv[r-1].Add(src)
+				p.acts[key{src, types.Round(r), v}] = Action{Mech: pointwise[rng.Intn(len(pointwise))]}
+			}
+		}
+	}
+	behavior[v] = b
+}
+
+// planGeneralVictim combines both directions: independent per-frame
+// sending omissions on the victim's outbound links and receive-drops
+// on its inbound links. Inbound drops are restricted to nonvictim
+// senders so the intended pattern is canonical by construction —
+// a drop on a link between two victims is planned (and reconstructed)
+// as the sender's omission.
+func (p *Plan) planGeneralVictim(rng *rand.Rand, v types.ProcID, h int, victims types.ProcSet, allowed []Mechanism, behavior map[types.ProcID]*failures.Behavior) {
+	others := types.FullSet(p.N).Remove(v)
+	recvBase := others.Minus(victims)
+	b := &failures.Behavior{
+		Omit: make([]types.ProcSet, h),
+		Recv: make([]types.ProcSet, h),
+	}
+
+	var pointwise []Mechanism
+	for _, m := range allowed {
+		if m != Partition {
+			pointwise = append(pointwise, m)
+		}
+	}
+	hasPartition := len(pointwise) < len(allowed)
+
+	if hasPartition && rng.Float64() < 0.5 {
+		members := others.Members()
+		peer := members[rng.Intn(len(members))]
+		r0 := 1 + rng.Intn(h)
+		inbound := recvBase.Contains(peer) && rng.Float64() < 0.5
+		for r := r0; r <= h; r++ {
+			if inbound {
+				b.Recv[r-1] = b.Recv[r-1].Add(peer)
+				p.acts[key{peer, types.Round(r), v}] = Action{Mech: Partition}
+			} else {
+				b.Omit[r-1] = b.Omit[r-1].Add(peer)
+				p.acts[key{v, types.Round(r), peer}] = Action{Mech: Partition}
+			}
+		}
+	}
+	if len(pointwise) > 0 {
+		for r := 1; r <= h; r++ {
+			for _, dst := range others.Members() {
+				if b.Omit[r-1].Contains(dst) || rng.Float64() >= 0.2 {
+					continue
+				}
+				b.Omit[r-1] = b.Omit[r-1].Add(dst)
+				p.acts[key{v, types.Round(r), dst}] = Action{Mech: pointwise[rng.Intn(len(pointwise))]}
+			}
+			for _, src := range recvBase.Members() {
+				if b.Recv[r-1].Contains(src) || rng.Float64() >= 0.2 {
+					continue
+				}
+				b.Recv[r-1] = b.Recv[r-1].Add(src)
+				p.acts[key{src, types.Round(r), v}] = Action{Mech: pointwise[rng.Intn(len(pointwise))]}
 			}
 		}
 	}

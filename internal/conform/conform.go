@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/eventual-agreement/eba/internal/failures"
 	"github.com/eventual-agreement/eba/internal/knowledge"
 	"github.com/eventual-agreement/eba/internal/service"
 	"github.com/eventual-agreement/eba/internal/store"
@@ -42,10 +43,22 @@ const (
 	// fleet that sends every key to the wrong node, so the cluster
 	// pillar's served-by-owner check fails on every routed query.
 	MutantCluster = "cluster"
+	// MutantReconstruction replaces the live run's receiving-mode
+	// pattern with a sender-attributed reconstruction of the same
+	// observation — the classic mode-confusion bug where a receive
+	// drop is blamed on the sender. Deliveries are identical, so only
+	// the differential pillar's system lookup (and, past the fault
+	// bound, CheckBound) can catch it.
+	MutantReconstruction = "reconstruction"
+	// MutantParity strips the receive schedules from the embedding the
+	// mode-parity laws use, so an embedded receiving-omission pattern
+	// silently loses its drops; the deliveries-identical parity law
+	// must catch the divergence.
+	MutantParity = "parity"
 )
 
 // Mutants lists the accepted Options.Mutant values.
-var Mutants = []string{MutantLaw, MutantOracle, MutantDifferential, MutantCluster}
+var Mutants = []string{MutantLaw, MutantOracle, MutantDifferential, MutantCluster, MutantReconstruction, MutantParity}
 
 // Options configures a conformance run.
 type Options struct {
@@ -54,6 +67,11 @@ type Options struct {
 	Seed int64
 	// Count is the number of scenarios (default 100).
 	Count int
+	// Modes restricts scenario generation to the listed failure modes
+	// (empty = all of failures.Modes). The filter is part of scenario
+	// derivation, so corpus records from a filtered run replay with
+	// the same -mode argument (recorded in their replay hint).
+	Modes []failures.Mode
 	// Budget bounds wall-clock time; once exceeded, no new scenarios
 	// start and the result is marked truncated. 0 = no budget.
 	Budget time.Duration
@@ -111,6 +129,10 @@ var (
 
 // violationOf stamps a failed check with its scenario's coordinates.
 func violationOf(sc Scenario, pillar, law, detail string) Violation {
+	replay := fmt.Sprintf("ebaconform -seed %d -count 1", sc.Seed)
+	if len(sc.Filter) > 0 {
+		replay += " -mode " + ModesArg(sc.Filter)
+	}
 	return Violation{
 		Seed:    sc.Seed,
 		N:       sc.N,
@@ -121,7 +143,7 @@ func violationOf(sc Scenario, pillar, law, detail string) Violation {
 		Pillar:  pillar,
 		Law:     law,
 		Detail:  detail,
-		Replay:  fmt.Sprintf("ebaconform -seed %d -count 1", sc.Seed),
+		Replay:  replay,
 	}
 }
 
@@ -214,9 +236,14 @@ func Run(opts Options) (*Result, error) {
 		opts.Deadline = 200 * time.Millisecond
 	}
 	switch opts.Mutant {
-	case "", MutantLaw, MutantOracle, MutantDifferential, MutantCluster:
+	case "", MutantLaw, MutantOracle, MutantDifferential, MutantCluster, MutantReconstruction, MutantParity:
 	default:
 		return nil, fmt.Errorf("conform: unknown mutant %q (want %v)", opts.Mutant, Mutants)
+	}
+	for _, m := range opts.Modes {
+		if !m.Valid() {
+			return nil, fmt.Errorf("conform: %w %v in Options.Modes", failures.ErrUnknownMode, m)
+		}
 	}
 
 	dir := opts.CacheDir
@@ -270,7 +297,7 @@ func Run(opts Options) (*Result, error) {
 					results[i] = outcome{idx: i, skipped: true}
 					continue
 				}
-				sc := NewScenario(opts.Seed + int64(i))
+				sc := NewScenarioIn(opts.Seed+int64(i), opts.Modes)
 				mScenarios.Inc()
 				var vs []Violation
 				checks := 0

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/eventual-agreement/eba/internal/chaos"
+	"github.com/eventual-agreement/eba/internal/failures"
 	"github.com/eventual-agreement/eba/internal/fip"
 	"github.com/eventual-agreement/eba/internal/nettransport"
 	"github.com/eventual-agreement/eba/internal/sim"
@@ -34,14 +35,20 @@ func (r *Runner) runDifferential(sc Scenario) (vs []Violation, checks int) {
 	// Live run with the reconstruction retry idiom: scheduler hiccups
 	// can push a frame past the round deadline, producing extra
 	// omissions; if they exceed the pattern bound the run is
-	// unattributable and is retried with a doubled deadline.
+	// unattributable and is retried with a doubled deadline. The
+	// harness supplies its own Observation (fresh per attempt) so the
+	// reconstruction mutant below can re-attribute the same message
+	// fates the engine saw.
 	checks++
 	var live *sim.Trace
+	var obs *failures.Observation
 	deadline := r.opts.Deadline
 	for attempt := 1; ; attempt++ {
+		obs = failures.NewObservation(params.N, sc.Horizon)
 		live, err = nettransport.RunResilient(proto, params, sc.Config, nettransport.Options{
-			Plan:     plan,
-			Deadline: deadline,
+			Plan:        plan,
+			Deadline:    deadline,
+			Observation: obs,
 		})
 		var rerr *nettransport.ReconstructionError
 		if err != nil && errors.As(err, &rerr) && attempt < 4 {
@@ -54,6 +61,20 @@ func (r *Runner) runDifferential(sc Scenario) (vs []Violation, checks int) {
 	if err != nil {
 		fail("live-run", err.Error())
 		return vs, checks
+	}
+
+	// The reconstruction mutant: blame every drop on its sender even
+	// though the scenario's mode attributes (some of) them to the
+	// receiver. The misattributed pattern induces the exact same
+	// deliveries, so replay stays green — the system lookup below is
+	// what must notice the pattern is not a legal one for this mode.
+	// Runs without any drop are left alone: there is nothing to
+	// misattribute, and the mutant must be caught on the attribution
+	// itself, not on run bookkeeping.
+	if r.opts.Mutant == MutantReconstruction && sc.Mode.HasReceivingFaults() && len(obs.Omissions()) > 0 {
+		if buggy, berr := obs.Reconstruct(failures.Omission); berr == nil {
+			live.Pattern = buggy
+		}
 	}
 
 	// The reconstructed pattern must respect the scenario's fault bound

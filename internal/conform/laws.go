@@ -80,6 +80,17 @@ func (r *Runner) checkLaws(sc Scenario, seq *system.System, ev *knowledge.Evalua
 			fail("digest:seq-vs-parallel", fmt.Sprintf("sequential digest %s != parallel digest %s",
 				store.Digest(seqBytes), store.Digest(parBytes)))
 		default:
+			// Signature keys carry a pinned golden digest (see
+			// goldenDigests in modeparity.go): the snapshot bytes of
+			// the sending modes must never move under mode extensions,
+			// and the new modes' format is frozen the same way.
+			if pin, ok := goldenDigests[key.Slug()]; ok {
+				checks++
+				if got := store.Digest(seqBytes); got != pin {
+					fail("digest:golden", fmt.Sprintf("snapshot digest of %s is %s, pinned golden is %s",
+						key.Slug(), got, pin))
+				}
+			}
 			// Structural law: encode → decode (which restores via
 			// system.Reassemble) → re-encode is the identity on bytes,
 			// and the decoded system gives the same verdicts.
@@ -145,7 +156,9 @@ func (r *Runner) checkLaws(sc Scenario, seq *system.System, ev *knowledge.Evalua
 	}
 
 	v2, c2 := structuralLaws(sc, seq, ev)
-	return append(vs, v2...), checks + c2
+	vs, checks = append(vs, v2...), checks+c2
+	v3, c3 := modeParityLaws(sc, seq, ev, r.opts.Mutant)
+	return append(vs, v3...), checks + c3
 }
 
 // structuralLaws are the catalog entries that need formula

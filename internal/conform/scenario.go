@@ -33,6 +33,7 @@ package conform
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"github.com/eventual-agreement/eba/internal/failures"
 	"github.com/eventual-agreement/eba/internal/fip"
@@ -43,7 +44,8 @@ import (
 )
 
 // Scenario is one seeded conformance case. Everything below is a pure
-// function of Seed, so a scenario replays from its seed alone.
+// function of (Seed, Filter), so a scenario replays from its seed plus
+// the run's mode filter (empty filter = all modes).
 type Scenario struct {
 	Seed    int64
 	N, T    int
@@ -54,33 +56,66 @@ type Scenario struct {
 	// drawn from the scenario RNG so distinct scenarios sharing a
 	// system key still exercise distinct fault plans.
 	ChaosSeed int64
+	// Filter is the mode filter the scenario was derived under (nil =
+	// all modes). It is part of the derivation, so replay hints carry
+	// it as `-mode a,b`.
+	Filter []failures.Mode
 }
 
-// NewScenario derives the scenario for a seed. The parameter space is
-// bounded so every scenario's exhaustive system enumerates in memory:
-// n in 2..4, t in 0..2, horizons 2..3, with the omission mode capped
-// where its pattern count explodes ((2^(n-1))^h per faulty processor).
-func NewScenario(seed int64) Scenario {
+// NewScenario derives the scenario for a seed over all failure modes.
+func NewScenario(seed int64) Scenario { return NewScenarioIn(seed, nil) }
+
+// NewScenarioIn derives the scenario for a seed, drawing the failure
+// mode from modes (nil or empty = all of failures.Modes). The
+// parameter space is bounded per mode so every scenario's exhaustive
+// system enumerates in memory: n in 2..4, t in 0..2, horizons 2..3.
+// The sending- and receiving-omission modes are capped where their
+// pattern count explodes ((2^(n-1))^h per faulty processor), and the
+// general-omission mode — (2^(n-1)·2^(n-f))^h per faulty processor —
+// is held to n ≤ 3, t ≤ 1, with the longer horizon only at n = 2.
+func NewScenarioIn(seed int64, modes []failures.Mode) Scenario {
+	var filter []failures.Mode
+	if len(modes) == 0 {
+		modes = failures.Modes
+	} else {
+		filter = modes
+	}
 	rng := rand.New(rand.NewSource(seed))
-	n := 2 + rng.Intn(3)
-	mode := failures.Crash
-	if rng.Intn(2) == 1 {
-		mode = failures.Omission
-	}
-	maxT := n - 1
-	if maxT > 2 {
-		maxT = 2
-	}
-	if mode == failures.Omission && n == 4 {
-		maxT = 1
-	}
-	t := rng.Intn(maxT + 1)
-	h := 2
-	switch {
-	case mode == failures.Crash && !(n == 4 && t == 2):
-		h = 2 + rng.Intn(2)
-	case mode == failures.Omission && n <= 3 && t <= 1:
-		h = 2 + rng.Intn(2)
+	mode := modes[rng.Intn(len(modes))]
+	var n, t, h int
+	switch mode {
+	case failures.GeneralOmission:
+		n = 2 + rng.Intn(2)
+		t = rng.Intn(2)
+		h = 2
+		if n == 2 {
+			h = 2 + rng.Intn(2)
+		}
+	case failures.Omission, failures.ReceivingOmission:
+		n = 2 + rng.Intn(3)
+		maxT := n - 1
+		if maxT > 2 {
+			maxT = 2
+		}
+		if n == 4 {
+			maxT = 1
+		}
+		t = rng.Intn(maxT + 1)
+		h = 2
+		if n <= 3 && t <= 1 {
+			h = 2 + rng.Intn(2)
+		}
+	default: // crash
+		n = 2 + rng.Intn(3)
+		maxT := n - 1
+		if maxT > 2 {
+			maxT = 2
+		}
+		t = rng.Intn(maxT + 1)
+		h = 2
+		if !(n == 4 && t == 2) {
+			h = 2 + rng.Intn(2)
+		}
 	}
 	cfg := types.ConfigFromBits(n, rng.Uint64()&((1<<uint(n))-1))
 	return Scenario{
@@ -91,20 +126,21 @@ func NewScenario(seed int64) Scenario {
 		Horizon:   h,
 		Config:    cfg,
 		ChaosSeed: rng.Int63(),
+		Filter:    filter,
 	}
 }
 
 // Params returns the scenario's (n, t).
 func (s Scenario) Params() types.Params { return types.Params{N: s.N, T: s.T} }
 
-// Key is the store key of the scenario's exhaustive system. Omission
-// keys carry the service layer's default limit so harness checks and
-// engine queries share one snapshot; under the generator's caps the
-// limit is far above the true pattern count, so the enumeration is
-// exhaustive either way.
+// Key is the store key of the scenario's exhaustive system. Keys of
+// the omission family (sending, receiving, general) carry the service
+// layer's default limit so harness checks and engine queries share one
+// snapshot; under the generator's caps the limit is far above the true
+// pattern count, so the enumeration is exhaustive either way.
 func (s Scenario) Key() store.Key {
 	k := store.Key{N: s.N, T: s.T, Mode: s.Mode, Horizon: s.Horizon}
-	if s.Mode == failures.Omission {
+	if s.Mode != failures.Crash {
 		k.Limit = service.DefaultOmissionLimit
 	}
 	return k
@@ -112,7 +148,9 @@ func (s Scenario) Key() store.Key {
 
 // Pair is the decision pair the differential pillar runs live: the
 // mode's concrete protocol from the paper, in predicate-backed form so
-// the wire adapter can run it (P0opt for crash, Chain0 for omission).
+// the wire adapter can run it (P0opt for crash, Chain0 for the whole
+// omission family — its chain predicate reads only the local view, so
+// it is well-defined whichever side of a link drops the message).
 func (s Scenario) Pair() fip.Pair {
 	if s.Mode == failures.Crash {
 		return protocols.P0OptPair()
@@ -123,4 +161,13 @@ func (s Scenario) Pair() fip.Pair {
 // Desc renders the scenario compactly for logs and corpus records.
 func (s Scenario) Desc() string {
 	return fmt.Sprintf("seed=%d %s n=%d t=%d h=%d cfg=%s", s.Seed, s.Mode, s.N, s.T, s.Horizon, s.Config)
+}
+
+// ModesArg renders a mode filter as the ebaconform -mode argument.
+func ModesArg(modes []failures.Mode) string {
+	names := make([]string, len(modes))
+	for i, m := range modes {
+		names[i] = m.String()
+	}
+	return strings.Join(names, ",")
 }

@@ -41,7 +41,7 @@ func EnumCrash(n, t, h int) ([]*Pattern, error) {
 		}
 		return out
 	}
-	return enumPatterns(Crash, n, t, h, perProc, 0)
+	return enumPatterns(Crash, n, t, h, faultyFree(perProc), 0)
 }
 
 // EnumOmission enumerates every sending-omission failure pattern for
@@ -79,7 +79,94 @@ func EnumOmission(n, t, h int, limit int) ([]*Pattern, error) {
 		}
 		return behs
 	}
-	return enumPatterns(Omission, n, t, h, perProc, limit)
+	return enumPatterns(Omission, n, t, h, faultyFree(perProc), limit)
+}
+
+// EnumReceiving enumerates every receiving-omission failure pattern
+// for an n-processor system with at most t faulty processors over
+// horizon h: each faulty processor independently fails to receive an
+// arbitrary subset of its required inbound messages in each round.
+// The count grows as (2^(n-1))^h per faulty processor — identical to
+// EnumOmission — and the limit contract is the same: limit > 0 aborts
+// with an error if the enumeration would exceed limit patterns,
+// limit == 0 means no limit, and limit < 0 is rejected outright.
+func EnumReceiving(n, t, h int, limit int) ([]*Pattern, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("failures: negative pattern limit %d (0 means no limit)", limit)
+	}
+	if err := (types.Params{N: n, T: t}).Validate(); err != nil {
+		return nil, err
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("failures: horizon %d < 1", h)
+	}
+	perProc := func(p types.ProcID) []*Behavior {
+		others := types.FullSet(n).Remove(p)
+		behs := []*Behavior{{}}
+		for r := 1; r <= h; r++ {
+			var next []*Behavior
+			for _, b := range behs {
+				enumSubsets(others, func(rc types.ProcSet) {
+					nb := &Behavior{Recv: make([]types.ProcSet, r)}
+					copy(nb.Recv, b.Recv)
+					nb.Recv[r-1] = rc
+					next = append(next, nb)
+				})
+			}
+			behs = next
+		}
+		return behs
+	}
+	return enumPatterns(ReceivingOmission, n, t, h, faultyFree(perProc), limit)
+}
+
+// EnumGeneral enumerates every canonical general-omission failure
+// pattern: each faulty processor independently chooses, per round, a
+// sending-omission set over the other processors and a
+// receiving-omission set over the NONFAULTY processors. Restricting
+// the receiving sets to nonfaulty senders is what makes the
+// enumeration canonical and duplicate-free — a drop on a link whose
+// sender is faulty has the sender-attributed description, and
+// enumerating the receiver-attributed variant too would add a second
+// run with identical deliveries (see Canonicalize). The count grows as
+// (2^(n-1) · 2^(n-f))^h per faulty processor for a faulty set of size
+// f; the limit contract matches EnumOmission.
+func EnumGeneral(n, t, h int, limit int) ([]*Pattern, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("failures: negative pattern limit %d (0 means no limit)", limit)
+	}
+	if err := (types.Params{N: n, T: t}).Validate(); err != nil {
+		return nil, err
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("failures: horizon %d < 1", h)
+	}
+	perProc := func(p types.ProcID, faulty types.ProcSet) []*Behavior {
+		others := types.FullSet(n).Remove(p)
+		recvBase := others.Minus(faulty)
+		behs := []*Behavior{{}}
+		for r := 1; r <= h; r++ {
+			var next []*Behavior
+			for _, b := range behs {
+				enumSubsets(others, func(om types.ProcSet) {
+					enumSubsets(recvBase, func(rc types.ProcSet) {
+						nb := &Behavior{
+							Omit: make([]types.ProcSet, r),
+							Recv: make([]types.ProcSet, r),
+						}
+						copy(nb.Omit, b.Omit)
+						copy(nb.Recv, b.Recv)
+						nb.Omit[r-1] = om
+						nb.Recv[r-1] = rc
+						next = append(next, nb)
+					})
+				})
+			}
+			behs = next
+		}
+		return behs
+	}
+	return enumPatterns(GeneralOmission, n, t, h, perProc, limit)
 }
 
 // enumSubsets calls fn on every subset of base.
@@ -96,16 +183,32 @@ func enumSubsets(base types.ProcSet, fn func(types.ProcSet)) {
 	}
 }
 
-// enumPatterns combines per-processor behaviour menus over all faulty
-// sets of size at most t.
-func enumPatterns(mode Mode, n, t, h int, perProc func(types.ProcID) []*Behavior, limit int) ([]*Pattern, error) {
-	menus := make([][]*Behavior, n)
-	for p := 0; p < n; p++ {
-		menus[p] = perProc(types.ProcID(p))
+// faultyFree adapts a behaviour menu that does not depend on the
+// faulty set (crash, sending omission, receiving omission) to the
+// faulty-aware signature enumPatterns uses, memoizing per processor.
+func faultyFree(perProc func(types.ProcID) []*Behavior) func(types.ProcID, types.ProcSet) []*Behavior {
+	memo := make(map[types.ProcID][]*Behavior)
+	return func(p types.ProcID, _ types.ProcSet) []*Behavior {
+		m, ok := memo[p]
+		if !ok {
+			m = perProc(p)
+			memo[p] = m
+		}
+		return m
 	}
+}
+
+// enumPatterns combines per-processor behaviour menus over all faulty
+// sets of size at most t. The menu may depend on the faulty set (the
+// general mode's canonical receive sets exclude faulty senders).
+func enumPatterns(mode Mode, n, t, h int, perProc func(types.ProcID, types.ProcSet) []*Behavior, limit int) ([]*Pattern, error) {
 	var out []*Pattern
 	for _, faulty := range FaultySets(n, t) {
 		members := faulty.Members()
+		menus := make(map[types.ProcID][]*Behavior, len(members))
+		for _, p := range members {
+			menus[p] = perProc(p, faulty)
+		}
 		// Cartesian product over the faulty members' menus.
 		idx := make([]int, len(members))
 		for {
@@ -143,7 +246,7 @@ func enumPatterns(mode Mode, n, t, h int, perProc func(types.ProcID) []*Behavior
 // and omission sets uniform), using the given source for
 // reproducibility. The failure-free pattern is always included first.
 func SampleOmission(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
-	return samplePatterns(Omission, n, t, h, count, rng, func(p types.ProcID) *Behavior {
+	return samplePatterns(Omission, n, t, h, count, rng, func(p types.ProcID, _ types.ProcSet) *Behavior {
 		others := types.FullSet(n).Remove(p)
 		b := &Behavior{Omit: make([]types.ProcSet, h)}
 		for r := 0; r < h; r++ {
@@ -155,7 +258,7 @@ func SampleOmission(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
 
 // SampleCrash draws count distinct crash patterns at random.
 func SampleCrash(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
-	return samplePatterns(Crash, n, t, h, count, rng, func(p types.ProcID) *Behavior {
+	return samplePatterns(Crash, n, t, h, count, rng, func(p types.ProcID, _ types.ProcSet) *Behavior {
 		k := 1 + rng.Intn(h+1) // h+1 means invisible
 		if k > h {
 			return &Behavior{}
@@ -166,7 +269,42 @@ func SampleCrash(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
 	})
 }
 
-func samplePatterns(mode Mode, n, t, h, count int, rng *rand.Rand, draw func(types.ProcID) *Behavior) ([]*Pattern, error) {
+// SampleReceiving draws count distinct receiving-omission patterns at
+// random, with per-round receive-drop sets uniform over the other
+// processors. The failure-free pattern is always included first.
+func SampleReceiving(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
+	return samplePatterns(ReceivingOmission, n, t, h, count, rng, func(p types.ProcID, _ types.ProcSet) *Behavior {
+		others := types.FullSet(n).Remove(p)
+		b := &Behavior{Recv: make([]types.ProcSet, h)}
+		for r := 0; r < h; r++ {
+			b.Recv[r] = types.ProcSet(rng.Uint64()) & others
+		}
+		return b
+	})
+}
+
+// SampleGeneral draws count distinct canonical general-omission
+// patterns at random: per round, a uniform sending-omission set over
+// the others and a uniform receiving-omission set over the nonfaulty
+// others (canonical form; see EnumGeneral). The failure-free pattern
+// is always included first.
+func SampleGeneral(n, t, h, count int, rng *rand.Rand) ([]*Pattern, error) {
+	return samplePatterns(GeneralOmission, n, t, h, count, rng, func(p types.ProcID, faulty types.ProcSet) *Behavior {
+		others := types.FullSet(n).Remove(p)
+		recvBase := others.Minus(faulty)
+		b := &Behavior{
+			Omit: make([]types.ProcSet, h),
+			Recv: make([]types.ProcSet, h),
+		}
+		for r := 0; r < h; r++ {
+			b.Omit[r] = types.ProcSet(rng.Uint64()) & others
+			b.Recv[r] = types.ProcSet(rng.Uint64()) & recvBase
+		}
+		return b
+	})
+}
+
+func samplePatterns(mode Mode, n, t, h, count int, rng *rand.Rand, draw func(types.ProcID, types.ProcSet) *Behavior) ([]*Pattern, error) {
 	if err := (types.Params{N: n, T: t}).Validate(); err != nil {
 		return nil, err
 	}
@@ -197,7 +335,7 @@ func samplePatterns(mode Mode, n, t, h, count int, rng *rand.Rand, draw func(typ
 		}
 		beh := make(map[types.ProcID]*Behavior, size)
 		for _, p := range faulty.Members() {
-			beh[p] = draw(p)
+			beh[p] = draw(p, faulty)
 		}
 		pat, err := NewPattern(mode, n, h, faulty, beh)
 		if err != nil {
@@ -211,13 +349,29 @@ func samplePatterns(mode Mode, n, t, h, count int, rng *rand.Rand, draw func(typ
 // Silent builds the pattern in which processor p is faulty and sends
 // no messages in any round from round k onward (its messages before k
 // are delivered normally). In crash mode this is a crash in round k
-// delivering nothing.
+// delivering nothing. Requires a mode with sending faults; in the
+// receiving-omission mode use Deaf instead.
 func Silent(mode Mode, n, h int, p types.ProcID, k int) *Pattern {
 	others := types.FullSet(n).Remove(p)
 	b := &Behavior{Omit: make([]types.ProcSet, h)}
 	for r := 1; r <= h; r++ {
 		if r >= k {
 			b.Omit[r-1] = others
+		}
+	}
+	return MustPattern(mode, n, h, types.Singleton(p), map[types.ProcID]*Behavior{p: b})
+}
+
+// Deaf builds the pattern in which processor p is faulty and receives
+// no messages in any round from round k onward (messages before k
+// reach it normally). It is the receiving-direction dual of Silent and
+// requires a mode with receiving faults.
+func Deaf(mode Mode, n, h int, p types.ProcID, k int) *Pattern {
+	others := types.FullSet(n).Remove(p)
+	b := &Behavior{Recv: make([]types.ProcSet, h)}
+	for r := 1; r <= h; r++ {
+		if r >= k {
+			b.Recv[r-1] = others
 		}
 	}
 	return MustPattern(mode, n, h, types.Singleton(p), map[types.ProcID]*Behavior{p: b})

@@ -1,25 +1,40 @@
 // Package failures models the failure behaviour of processors in the
 // crash and sending-omission failure modes of Halpern, Moses, and
-// Waarts (PODC 1990), Section 2.1, and provides exhaustive enumerators
-// and seeded samplers over failure patterns.
+// Waarts (PODC 1990), Section 2.1 — extended with the receiving- and
+// general-omission modes of "Optimal Eventual Byzantine Agreement
+// Protocols with Omission Failures" (arXiv:2305.06271) — and provides
+// exhaustive enumerators and seeded samplers over failure patterns.
 //
 // A failure pattern (paper, Section 2.3) is "the faulty behavior of
 // all the processors that fail in the run", where the faulty behavior
 // of a processor is "a complete description of the processors to whom
-// it omits sending required messages at each round". A protocol, an
+// it omits sending required messages at each round". In the
+// receiving-omission mode the description instead lists the senders
+// whose required messages the faulty processor fails to receive; in
+// the general-omission mode both directions may fail. A protocol, an
 // initial configuration, and a failure pattern uniquely determine a
 // run.
+//
+// Because a dropped message on the link s→d is observationally the
+// same event whether s omitted to send it or d omitted to receive it,
+// general-omission patterns admit multiple descriptions of one run.
+// The canonical form used by the enumerators and reconstruction
+// attributes a drop to the sender whenever the sender is faulty:
+// canonical general-omission behaviours have receive-omission sets
+// containing only nonfaulty senders. Canonicalize rewrites any legal
+// general pattern into this form without changing a single delivery.
 //
 // Because this repository works with finite-horizon systems, a pattern
 // describes behaviour for rounds 1..H. A processor may be designated
 // faulty yet exhibit no visible deviation within the horizon; this
 // models processors that fail only after time H (crash mode) or whose
-// omissions all lie beyond the horizon (omission mode). Such runs are
+// omissions all lie beyond the horizon (omission modes). Such runs are
 // required for faithful knowledge semantics: a processor can never
 // know that another processor is nonfaulty.
 package failures
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -41,35 +56,102 @@ const (
 	// of messages in any given round (sending omissions, MT88). It
 	// receives all messages sent to it.
 	Omission
+	// ReceivingOmission: a faulty processor may fail to receive an
+	// arbitrary set of its required inbound messages in any given
+	// round. It sends all of its required messages.
+	ReceivingOmission
+	// GeneralOmission: a faulty processor may commit both sending and
+	// receiving omissions (general omissions, PT86).
+	GeneralOmission
 )
 
-// String returns the mode name.
+// Modes lists every supported mode, in declaration order. New modes
+// must be appended here; the exhaustiveness tests walk this slice.
+var Modes = []Mode{Crash, Omission, ReceivingOmission, GeneralOmission}
+
+// ErrUnknownMode is wrapped by every error produced for a Mode value
+// outside Modes, so callers at any layer can classify mode errors with
+// errors.Is rather than string matching.
+var ErrUnknownMode = errors.New("unknown failure mode")
+
+// String returns the mode name. The names double as wire/CLI values:
+// ParseMode(m.String()) == m for every valid mode.
 func (m Mode) String() string {
 	switch m {
 	case Crash:
 		return "crash"
 	case Omission:
 		return "omission"
+	case ReceivingOmission:
+		return "receiving-omission"
+	case GeneralOmission:
+		return "general-omission"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
 }
 
 // Valid reports whether m is a known mode.
-func (m Mode) Valid() bool { return m == Crash || m == Omission }
+func (m Mode) Valid() bool {
+	switch m {
+	case Crash, Omission, ReceivingOmission, GeneralOmission:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParseMode maps a mode name to its Mode. It accepts the canonical
+// String() names plus the short aliases "sending" (sending omission),
+// "receiving", and "general". Unknown names return an error wrapping
+// ErrUnknownMode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "crash":
+		return Crash, nil
+	case "omission", "sending", "sending-omission":
+		return Omission, nil
+	case "receiving-omission", "receiving":
+		return ReceivingOmission, nil
+	case "general-omission", "general":
+		return GeneralOmission, nil
+	default:
+		return 0, fmt.Errorf("failures: %w %q (want crash | omission | receiving-omission | general-omission)", ErrUnknownMode, s)
+	}
+}
+
+// HasSendingFaults reports whether the mode permits sending omissions
+// (nonempty Behavior.Omit).
+func (m Mode) HasSendingFaults() bool {
+	return m == Crash || m == Omission || m == GeneralOmission
+}
+
+// HasReceivingFaults reports whether the mode permits receiving
+// omissions (nonempty Behavior.Recv).
+func (m Mode) HasReceivingFaults() bool {
+	return m == ReceivingOmission || m == GeneralOmission
+}
 
 // Behavior is the faulty behaviour of a single processor: for each
 // round r in 1..H, the set of destinations to whom it omits sending
-// its required round-r message. The zero Behavior (nil Omit) omits
-// nothing.
+// its required round-r message (Omit) and the set of senders whose
+// required round-r message it fails to receive (Recv). The zero
+// Behavior omits nothing in either direction. Which direction may be
+// nonempty is a property of the pattern's mode, enforced by
+// NewPattern.
 type Behavior struct {
 	// Omit[r-1] is the set of destinations that do NOT receive the
 	// processor's round-r message even though the protocol requires
 	// one. Entries beyond len(Omit) are treated as empty.
 	Omit []types.ProcSet
+	// Recv[r-1] is the set of senders whose required round-r message
+	// the processor fails to receive. Entries beyond len(Recv) are
+	// treated as empty. Only the receiving- and general-omission modes
+	// permit nonempty entries.
+	Recv []types.ProcSet
 }
 
-// OmittedIn returns the omission set for round r (1-based).
+// OmittedIn returns the sending-omission set for round r (1-based).
 func (b *Behavior) OmittedIn(r types.Round) types.ProcSet {
 	if b == nil {
 		return types.EmptySet
@@ -81,9 +163,53 @@ func (b *Behavior) OmittedIn(r types.Round) types.ProcSet {
 	return b.Omit[idx]
 }
 
+// RecvOmittedIn returns the receiving-omission set for round r
+// (1-based): the senders whose round-r message the processor drops.
+func (b *Behavior) RecvOmittedIn(r types.Round) types.ProcSet {
+	if b == nil {
+		return types.EmptySet
+	}
+	idx := int(r) - 1
+	if idx < 0 || idx >= len(b.Recv) {
+		return types.EmptySet
+	}
+	return b.Recv[idx]
+}
+
 // Visible reports whether the behaviour deviates at all within the
-// horizon (some omission set is nonempty).
+// horizon (some omission set, sending or receiving, is nonempty).
 func (b *Behavior) Visible() bool {
+	if b == nil {
+		return false
+	}
+	for _, s := range b.Omit {
+		if !s.Empty() {
+			return true
+		}
+	}
+	for _, s := range b.Recv {
+		if !s.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// recvVisible reports whether any receiving-omission set is nonempty.
+func (b *Behavior) recvVisible() bool {
+	if b == nil {
+		return false
+	}
+	for _, s := range b.Recv {
+		if !s.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// omitVisible reports whether any sending-omission set is nonempty.
+func (b *Behavior) omitVisible() bool {
 	if b == nil {
 		return false
 	}
@@ -126,8 +252,15 @@ func (b *Behavior) clone() *Behavior {
 	if b == nil {
 		return nil
 	}
-	out := &Behavior{Omit: make([]types.ProcSet, len(b.Omit))}
-	copy(out.Omit, b.Omit)
+	out := &Behavior{}
+	if b.Omit != nil {
+		out.Omit = make([]types.ProcSet, len(b.Omit))
+		copy(out.Omit, b.Omit)
+	}
+	if b.Recv != nil {
+		out.Recv = make([]types.ProcSet, len(b.Recv))
+		copy(out.Recv, b.Recv)
+	}
 	return out
 }
 
@@ -168,11 +301,15 @@ type Pattern struct {
 
 // NewPattern builds and validates a pattern. Every processor with a
 // behaviour must be in faulty; crash-mode behaviours must have crash
-// shape. Faulty processors without an explicit behaviour deviate
-// invisibly (beyond the horizon).
+// shape; sending omissions (Omit) are legal only in modes with sending
+// faults and receiving omissions (Recv) only in modes with receiving
+// faults. Faulty processors without an explicit behaviour deviate
+// invisibly (beyond the horizon). General-omission patterns are NOT
+// required to be canonical here — any legal description is accepted;
+// use Canonicalize for the enumerators' normal form.
 func NewPattern(mode Mode, n, h int, faulty types.ProcSet, behavior map[types.ProcID]*Behavior) (*Pattern, error) {
 	if !mode.Valid() {
-		return nil, fmt.Errorf("failures: invalid mode %v", mode)
+		return nil, fmt.Errorf("failures: %w %v", ErrUnknownMode, mode)
 	}
 	if n < 2 || n > types.MaxProcs {
 		return nil, fmt.Errorf("failures: n=%d out of range", n)
@@ -191,7 +328,7 @@ func NewPattern(mode Mode, n, h int, faulty types.ProcSet, behavior map[types.Pr
 		if b == nil {
 			continue
 		}
-		if len(b.Omit) > h {
+		if len(b.Omit) > h || len(b.Recv) > h {
 			return nil, fmt.Errorf("failures: processor %d behaviour longer than horizon", p)
 		}
 		others := types.FullSet(n).Remove(p)
@@ -199,6 +336,17 @@ func NewPattern(mode Mode, n, h int, faulty types.ProcSet, behavior map[types.Pr
 			if !s.SubsetOf(others) {
 				return nil, fmt.Errorf("failures: processor %d round %d omits %v outside others", p, r+1, s)
 			}
+		}
+		for r, s := range b.Recv {
+			if !s.SubsetOf(others) {
+				return nil, fmt.Errorf("failures: processor %d round %d drops receives %v outside others", p, r+1, s)
+			}
+		}
+		if !mode.HasSendingFaults() && b.omitVisible() {
+			return nil, fmt.Errorf("failures: processor %d has sending omissions in %s mode", p, mode)
+		}
+		if !mode.HasReceivingFaults() && b.recvVisible() {
+			return nil, fmt.Errorf("failures: processor %d has receiving omissions in %s mode", p, mode)
 		}
 		if mode == Crash && !b.CrashShape(p, n, h) {
 			return nil, fmt.Errorf("failures: processor %d behaviour lacks crash shape", p)
@@ -258,16 +406,16 @@ func (p *Pattern) VisiblyFaulty() types.ProcSet {
 	return s
 }
 
-// FirstOmission returns the first round in which p omits a message,
-// and false if p never visibly deviates within the horizon. In the
-// crash mode this is the crash round.
+// FirstOmission returns the first round in which p omits a message
+// (sending or receiving), and false if p never visibly deviates within
+// the horizon. In the crash mode this is the crash round.
 func (pat *Pattern) FirstOmission(p types.ProcID) (types.Round, bool) {
 	b, ok := pat.behavior[p]
 	if !ok {
 		return 0, false
 	}
 	for r := 1; r <= pat.h; r++ {
-		if !b.OmittedIn(types.Round(r)).Empty() {
+		if !b.OmittedIn(types.Round(r)).Empty() || !b.RecvOmittedIn(types.Round(r)).Empty() {
 			return types.Round(r), true
 		}
 	}
@@ -275,25 +423,43 @@ func (pat *Pattern) FirstOmission(p types.ProcID) (types.Round, bool) {
 }
 
 // OmittedBy returns the destinations that do not receive sender's
-// round-r message (given that its protocol requires one).
+// round-r message because the SENDER omitted it (given that its
+// protocol requires one). Receiving omissions by the destinations are
+// not reflected here; Delivers combines both directions.
 func (p *Pattern) OmittedBy(sender types.ProcID, r types.Round) types.ProcSet {
 	return p.behavior[sender].OmittedIn(r)
 }
 
+// RecvOmittedBy returns the senders whose required round-r message dst
+// fails to receive (dst's receiving omissions).
+func (p *Pattern) RecvOmittedBy(dst types.ProcID, r types.Round) types.ProcSet {
+	return p.behavior[dst].RecvOmittedIn(r)
+}
+
 // Delivers reports whether a required round-r message from sender
-// reaches dst under this pattern. Self-delivery is always true: a
-// processor knows its own state.
+// reaches dst under this pattern: the sender must not omit sending it
+// and the destination must not omit receiving it. Self-delivery is
+// always true: a processor knows its own state.
 func (p *Pattern) Delivers(sender types.ProcID, r types.Round, dst types.ProcID) bool {
 	if sender == dst {
 		return true
 	}
-	return !p.OmittedBy(sender, r).Contains(dst)
+	if p.OmittedBy(sender, r).Contains(dst) {
+		return false
+	}
+	return !p.RecvOmittedBy(dst, r).Contains(sender)
 }
 
 // Receivers returns the set of processors (other than the sender) that
 // receive sender's required round-r message.
 func (p *Pattern) Receivers(sender types.ProcID, r types.Round) types.ProcSet {
-	return types.FullSet(p.n).Remove(sender).Minus(p.OmittedBy(sender, r))
+	out := types.FullSet(p.n).Remove(sender).Minus(p.OmittedBy(sender, r))
+	for _, dst := range out.Members() {
+		if p.RecvOmittedBy(dst, r).Contains(sender) {
+			out = out.Remove(dst)
+		}
+	}
+	return out
 }
 
 // Extend returns a copy of the pattern with the horizon grown to h2,
@@ -307,6 +473,10 @@ func (p *Pattern) Extend(h2 int) (*Pattern, error) {
 	for q, b := range p.behavior {
 		eb := &Behavior{Omit: make([]types.ProcSet, h2)}
 		copy(eb.Omit, b.Omit)
+		if len(b.Recv) > 0 {
+			eb.Recv = make([]types.ProcSet, h2)
+			copy(eb.Recv, b.Recv)
+		}
 		if p.mode == Crash && b.Visible() {
 			others := types.FullSet(p.n).Remove(q)
 			// After the crash round, everything stays omitted.
@@ -346,6 +516,15 @@ func (p *Pattern) computeKey() string {
 		for r := 1; r <= p.h; r++ {
 			fmt.Fprintf(&b, "%x,", uint64(beh.OmittedIn(types.Round(r))))
 		}
+		// Receiving omissions get a separately prefixed section so that
+		// pure sending-mode keys are byte-for-byte what they were before
+		// the receiving modes existed (snapshot digests pin them).
+		if beh.recvVisible() {
+			b.WriteString("R")
+			for r := 1; r <= p.h; r++ {
+				fmt.Fprintf(&b, "%x,", uint64(beh.RecvOmittedIn(types.Round(r))))
+			}
+		}
 	}
 	return b.String()
 }
@@ -367,18 +546,102 @@ func (p *Pattern) String() string {
 		first := true
 		for r := 1; r <= p.h; r++ {
 			om := beh.OmittedIn(types.Round(r))
-			if om.Empty() {
-				continue
+			if !om.Empty() {
+				if !first {
+					b.WriteByte(' ')
+				}
+				first = false
+				fmt.Fprintf(&b, "r%d omit %s", r, om)
 			}
-			if !first {
-				b.WriteByte(' ')
+			rc := beh.RecvOmittedIn(types.Round(r))
+			if !rc.Empty() {
+				if !first {
+					b.WriteByte(' ')
+				}
+				first = false
+				fmt.Fprintf(&b, "r%d drop-recv %s", r, rc)
 			}
-			first = false
-			fmt.Fprintf(&b, "r%d omit %s", r, om)
 		}
 		b.WriteByte(']')
 	}
 	return b.String()
+}
+
+// Canonical reports whether the pattern is in the canonical form used
+// by the enumerators: every receiving-omission set contains only
+// nonfaulty senders. A drop on a link with a faulty sender is always
+// attributed to the sender. Pure sending-mode patterns are trivially
+// canonical.
+func (p *Pattern) Canonical() bool {
+	for _, b := range p.behavior {
+		for _, s := range b.Recv {
+			if !s.Intersect(p.faulty).Empty() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Canonicalize rewrites a pattern into canonical form without changing
+// any delivery: for every receive-drop of a message from a faulty
+// sender, the drop is moved into the sender's sending-omission set.
+// The faulty set is unchanged. Patterns already canonical are returned
+// as-is.
+func (p *Pattern) Canonicalize() (*Pattern, error) {
+	if p.Canonical() {
+		return p, nil
+	}
+	nb := make(map[types.ProcID]*Behavior, len(p.behavior))
+	for q, b := range p.behavior {
+		nb[q] = b.clone()
+	}
+	ensure := func(q types.ProcID) *Behavior {
+		b := nb[q]
+		if b == nil {
+			b = &Behavior{}
+			nb[q] = b
+		}
+		if len(b.Omit) < p.h {
+			om := make([]types.ProcSet, p.h)
+			copy(om, b.Omit)
+			b.Omit = om
+		}
+		return b
+	}
+	for q, b := range nb {
+		for idx, s := range b.Recv {
+			moved := s.Intersect(p.faulty)
+			if moved.Empty() {
+				continue
+			}
+			b.Recv[idx] = s.Minus(moved)
+			for _, sender := range moved.Members() {
+				sb := ensure(sender)
+				sb.Omit[idx] = sb.Omit[idx].Add(q)
+			}
+		}
+	}
+	return NewPattern(p.mode, p.n, p.h, p.faulty, nb)
+}
+
+// EmbedInGeneral re-expresses the pattern in the general-omission
+// mode, in canonical form, with identical deliveries and an identical
+// faulty set. Crash and sending-omission patterns embed unchanged
+// (their schedules are already canonical general behaviours);
+// receiving-omission patterns may need drops from faulty senders
+// re-attributed. This is the containment map behind the mode-parity
+// laws: crash ⊂ omission ⊂ general and receiving ⊂ general.
+func (p *Pattern) EmbedInGeneral() (*Pattern, error) {
+	nb := make(map[types.ProcID]*Behavior, len(p.behavior))
+	for q, b := range p.behavior {
+		nb[q] = b.clone()
+	}
+	gp, err := NewPattern(GeneralOmission, p.n, p.h, p.faulty, nb)
+	if err != nil {
+		return nil, err
+	}
+	return gp.Canonicalize()
 }
 
 // FaultySets enumerates all subsets of {0..n-1} of size at most t, in

@@ -1,0 +1,122 @@
+package failures
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+// TestModeExhaustive pins the mode universe: Modes lists exactly the
+// values Valid accepts, every mode has a distinguished String that
+// ParseMode round-trips, and everything outside the list is rejected
+// with the typed ErrUnknownMode.
+func TestModeExhaustive(t *testing.T) {
+	listed := make(map[Mode]bool)
+	for _, m := range Modes {
+		listed[m] = true
+	}
+	if len(listed) != len(Modes) {
+		t.Fatalf("Modes has duplicates: %v", Modes)
+	}
+	for raw := 0; raw <= 16; raw++ {
+		m := Mode(raw)
+		if m.Valid() != listed[m] {
+			t.Fatalf("Mode(%d).Valid()=%v but listed=%v", raw, m.Valid(), listed[m])
+		}
+	}
+	seen := make(map[string]bool)
+	for _, m := range Modes {
+		s := m.String()
+		if strings.Contains(s, "mode(") {
+			t.Fatalf("mode %d renders as fallback %q", m, s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate mode name %q", s)
+		}
+		seen[s] = true
+		back, err := ParseMode(s)
+		if err != nil || back != m {
+			t.Fatalf("ParseMode(%q) = %v, %v; want %v", s, back, err, m)
+		}
+	}
+	// Unknown modes render via the numeric fallback and never parse.
+	if s := Mode(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("unknown mode renders as %q", s)
+	}
+	for _, bad := range []string{"", "bogus", "byzantine", "mode(99)"} {
+		if _, err := ParseMode(bad); !errors.Is(err, ErrUnknownMode) {
+			t.Fatalf("ParseMode(%q) = %v; want ErrUnknownMode", bad, err)
+		}
+	}
+}
+
+// TestParseModeAliases: the documented short forms resolve to their
+// canonical modes.
+func TestParseModeAliases(t *testing.T) {
+	for alias, want := range map[string]Mode{
+		"crash":              Crash,
+		"omission":           Omission,
+		"sending":            Omission,
+		"sending-omission":   Omission,
+		"receiving":          ReceivingOmission,
+		"receiving-omission": ReceivingOmission,
+		"general":            GeneralOmission,
+		"general-omission":   GeneralOmission,
+	} {
+		got, err := ParseMode(alias)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+}
+
+// TestUnknownModeTypedInFailures: every failures-package entry point
+// that dispatches on a mode rejects an unknown one with ErrUnknownMode.
+func TestUnknownModeTypedInFailures(t *testing.T) {
+	bad := Mode(99)
+	if _, err := NewPattern(bad, 3, 2, types.ProcSet(0), nil); !errors.Is(err, ErrUnknownMode) {
+		t.Fatalf("NewPattern: %v; want ErrUnknownMode", err)
+	}
+	obs := NewObservation(3, 2)
+	if _, err := obs.Reconstruct(bad); !errors.Is(err, ErrUnknownMode) {
+		t.Fatalf("Reconstruct: %v; want ErrUnknownMode", err)
+	}
+}
+
+// TestModeDirectionLegality: a behavior's fault direction must match
+// its mode — sending omissions are illegal in receiving-only modes and
+// vice versa, while the general mode accepts both at once.
+func TestModeDirectionLegality(t *testing.T) {
+	const n, h = 3, 2
+	sending := &Behavior{Omit: []types.ProcSet{types.ProcSet(0).Add(1), 0}}
+	receiving := &Behavior{Recv: []types.ProcSet{types.ProcSet(0).Add(1), 0}}
+	both := &Behavior{
+		Omit: []types.ProcSet{types.ProcSet(0).Add(1), 0},
+		Recv: []types.ProcSet{types.ProcSet(0).Add(2), 0},
+	}
+	faulty := types.ProcSet(0).Add(0)
+	mk := func(mode Mode, b *Behavior) error {
+		_, err := NewPattern(mode, n, h, faulty, map[types.ProcID]*Behavior{0: b})
+		return err
+	}
+	if err := mk(ReceivingOmission, sending); err == nil {
+		t.Fatal("receiving-omission accepted a sending omission")
+	}
+	if err := mk(Omission, receiving); err == nil {
+		t.Fatal("sending-omission accepted a receive drop")
+	}
+	if err := mk(Crash, receiving); err == nil {
+		t.Fatal("crash accepted a receive drop")
+	}
+	for mode, b := range map[Mode]*Behavior{
+		Omission:          sending,
+		ReceivingOmission: receiving,
+		GeneralOmission:   both,
+	} {
+		if err := mk(mode, b); err != nil {
+			t.Fatalf("%s rejected its own direction: %v", mode, err)
+		}
+	}
+}

@@ -10,10 +10,14 @@ import (
 // Observation accumulates the message fates of a live run: which
 // required messages the protocol handed to the network, and which of
 // them actually arrived. It is the raw material for fault-pattern
-// reconstruction: a required message that was not delivered is, by the
-// paper's definition (Section 2.3), an omission by its sender, no
-// matter which network pathology (timeout, dead connection, torn
-// frame, partition) caused the loss.
+// reconstruction. How an undelivered required message is attributed
+// depends on the failure mode: in the crash and sending-omission
+// modes it is an omission by its sender (paper, Section 2.3); in the
+// receiving-omission mode it is an omission by its receiver; in the
+// general-omission mode either endpoint may be blamed, and
+// reconstruction chooses a minimal consistent attribution. In every
+// mode the network pathology that caused the loss (timeout, dead
+// connection, torn frame, partition) is irrelevant.
 //
 // Observations are safe for concurrent use: live engines record from
 // one goroutine per processor.
@@ -91,26 +95,182 @@ func (o *Observation) Omissions() map[types.ProcID][]types.ProcSet {
 	return out
 }
 
-// Reconstruct builds the effective failure pattern the run exhibited:
-// the faulty set is exactly the senders with at least one undelivered
-// required message, and each one's behaviour is its observed omission
-// schedule. NewPattern validates legality for the mode — in crash mode
-// a sender that resumed delivering after an omission is not a legal
-// crash and surfaces as an error (the observed run left the crash
-// failure model).
+// Reconstruct builds the effective failure pattern the run exhibited.
+// Attribution is mode-dependent:
+//
+//   - Crash, Omission: every drop is an omission by its sender; the
+//     faulty set is exactly the senders with at least one undelivered
+//     required message.
+//   - ReceivingOmission: every drop is an omission by its receiver.
+//   - GeneralOmission: each drop must be covered by a faulty endpoint.
+//     Reconstruct finds a minimum vertex cover of the drop links
+//     (deterministically: smallest cover, ties broken by
+//     size-then-lexicographic candidate order) and attributes each
+//     drop to its sender when the sender is in the cover, else to its
+//     receiver — yielding the canonical form (Recv sets contain only
+//     nonfaulty senders). Minimality matters for CheckBound: a run
+//     whose drops CAN be explained by ≤ t faulty processors must not
+//     be rejected because a sloppier attribution blamed more.
+//
+// NewPattern validates legality for the mode — in crash mode a sender
+// that resumed delivering after an omission is not a legal crash and
+// surfaces as an error (the observed run left the crash failure
+// model).
 func (o *Observation) Reconstruct(mode Mode) (*Pattern, error) {
 	omissions := o.Omissions()
 	var faulty types.ProcSet
-	behavior := make(map[types.ProcID]*Behavior, len(omissions))
-	for sender, omit := range omissions {
-		faulty = faulty.Add(sender)
-		behavior[sender] = &Behavior{Omit: omit}
+	behavior := make(map[types.ProcID]*Behavior)
+	ensure := func(p types.ProcID) *Behavior {
+		b := behavior[p]
+		if b == nil {
+			b = &Behavior{Omit: make([]types.ProcSet, o.h), Recv: make([]types.ProcSet, o.h)}
+			behavior[p] = b
+		}
+		return b
+	}
+	switch mode {
+	case Crash, Omission:
+		for sender, omit := range omissions {
+			faulty = faulty.Add(sender)
+			behavior[sender] = &Behavior{Omit: omit}
+		}
+	case ReceivingOmission:
+		for sender, omit := range omissions {
+			for idx, dsts := range omit {
+				for _, dst := range dsts.Members() {
+					faulty = faulty.Add(dst)
+					b := ensure(dst)
+					b.Recv[idx] = b.Recv[idx].Add(sender)
+				}
+			}
+		}
+	case GeneralOmission:
+		cover := minDropCover(omissions)
+		for sender, omit := range omissions {
+			for idx, dsts := range omit {
+				for _, dst := range dsts.Members() {
+					if cover.Contains(sender) {
+						b := ensure(sender)
+						b.Omit[idx] = b.Omit[idx].Add(dst)
+					} else {
+						b := ensure(dst)
+						b.Recv[idx] = b.Recv[idx].Add(sender)
+					}
+				}
+			}
+		}
+		faulty = cover
+	default:
+		return nil, fmt.Errorf("failures: cannot reconstruct: %w %v", ErrUnknownMode, mode)
 	}
 	pat, err := NewPattern(mode, o.n, o.h, faulty, behavior)
 	if err != nil {
 		return nil, fmt.Errorf("failures: observed run has no legal %s pattern: %w", mode, err)
 	}
 	return pat, nil
+}
+
+// minDropCover returns a minimum set of processors covering every
+// dropped link (each drop s→d has s or d in the cover). Candidates are
+// the endpoints of the drops, so the cover is empty for a clean run.
+// Subsets are tried in increasing size, then in lexicographic order of
+// the sorted candidate list, and the first cover wins — a fixed total
+// order, so reconstruction is deterministic. Beyond 20 candidates the
+// exact search (2^candidates subsets) gives way to a greedy cover;
+// real deployments have n ≤ 64 but drop sets that wide are outside
+// any fault bound this repository enumerates anyway.
+func minDropCover(omissions map[types.ProcID][]types.ProcSet) types.ProcSet {
+	type link struct{ s, d types.ProcID }
+	var links []link
+	var cand types.ProcSet
+	for sender, omit := range omissions {
+		for _, dsts := range omit {
+			for _, dst := range dsts.Members() {
+				links = append(links, link{sender, dst})
+				cand = cand.Add(sender).Add(dst)
+			}
+		}
+	}
+	if len(links) == 0 {
+		return types.EmptySet
+	}
+	covers := func(set types.ProcSet) bool {
+		for _, l := range links {
+			if !set.Contains(l.s) && !set.Contains(l.d) {
+				return false
+			}
+		}
+		return true
+	}
+	ids := cand.Members()
+	if len(ids) > 20 {
+		// Greedy fallback: repeatedly take the endpoint covering the
+		// most uncovered links, lowest ID on ties.
+		var cover types.ProcSet
+		uncovered := links
+		for len(uncovered) > 0 {
+			best, bestCount := types.ProcID(0), -1
+			for _, p := range ids {
+				if cover.Contains(p) {
+					continue
+				}
+				count := 0
+				for _, l := range uncovered {
+					if l.s == p || l.d == p {
+						count++
+					}
+				}
+				if count > bestCount {
+					best, bestCount = p, count
+				}
+			}
+			cover = cover.Add(best)
+			var rest []link
+			for _, l := range uncovered {
+				if l.s != best && l.d != best {
+					rest = append(rest, l)
+				}
+			}
+			uncovered = rest
+		}
+		return cover
+	}
+	for size := 1; size <= len(ids); size++ {
+		if c, ok := firstCover(ids, size, covers); ok {
+			return c
+		}
+	}
+	return cand // unreachable: the full candidate set always covers
+}
+
+// firstCover tries every size-k combination of ids in lexicographic
+// order and returns the first one accepted by covers.
+func firstCover(ids []types.ProcID, k int, covers func(types.ProcSet) bool) (types.ProcSet, bool) {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		var set types.ProcSet
+		for _, i := range idx {
+			set = set.Add(ids[i])
+		}
+		if covers(set) {
+			return set, true
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == len(ids)-k+i {
+			i--
+		}
+		if i < 0 {
+			return types.EmptySet, false
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
 }
 
 // CheckBound verifies that the pattern stays within the fault bound t:

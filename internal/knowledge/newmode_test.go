@@ -1,0 +1,91 @@
+package knowledge
+
+// The knowledge layer never inspects a pattern's failure mode — views
+// and reachability are functions of deliveries alone. These tests pin
+// that mode-agnosticism on the receiving- and general-omission
+// systems: the table evaluator must match the direct-definition
+// reference, the frontier/partition caches must give the same C□ as
+// the definitional iteration, and parallel evaluation must be
+// invisible in results.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+func newModeSys(t *testing.T, mode failures.Mode, n, tt, h int) *system.System {
+	t.Helper()
+	sys, err := system.Enumerate(types.Params{N: n, T: tt}, mode, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestReferenceNewModes repeats the evaluator-vs-reference
+// differential test on receiving- and general-omission systems.
+func TestReferenceNewModes(t *testing.T) {
+	cases := []struct {
+		mode    failures.Mode
+		n, t, h int
+		seed    int64
+	}{
+		{failures.ReceivingOmission, 3, 1, 2, 11},
+		{failures.GeneralOmission, 2, 1, 2, 13},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			sys := newModeSys(t, tc.mode, tc.n, tc.t, tc.h)
+			e := NewEvaluator(sys)
+			rng := rand.New(rand.NewSource(tc.seed))
+			for fi := 0; fi < 25; fi++ {
+				f := randomFormula(rng, tc.n, 1)
+				tbl := e.Eval(f)
+				for s := 0; s < 25; s++ {
+					pt := sys.PointAt(rng.Intn(sys.NumPoints()))
+					if got, want := tbl.Get(sys.PointIndex(pt)), RefHolds(sys, f, pt); got != want {
+						t.Fatalf("formula %s at %v: evaluator %v, reference %v", f, pt, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNewModeCachesAgree: the frontier/partition-backed reachability
+// C□ equals the definitional (E□)^k iteration on the new-mode
+// systems, and a parallel evaluator is bit-identical to a sequential
+// one on a compound formula — the cache layers carry no mode
+// assumptions.
+func TestNewModeCachesAgree(t *testing.T) {
+	for _, mode := range []failures.Mode{failures.ReceivingOmission, failures.GeneralOmission} {
+		t.Run(mode.String(), func(t *testing.T) {
+			n := 3
+			if mode == failures.GeneralOmission {
+				n = 2
+			}
+			sys := newModeSys(t, mode, n, 1, 2)
+			nf := Nonfaulty()
+			e0 := Exists0()
+			e := NewEvaluator(sys)
+			if !e.CBoxIterative(nf, e0).Equal(e.Eval(CBox(nf, e0))) {
+				t.Fatal("reachability C□ differs from definitional iteration")
+			}
+			compound := And(
+				Implies(CBox(nf, e0), K(0, e0)),
+				Or(Not(C(nf, Exists1())), EDiamond(nf, Exists1())),
+			)
+			seq := NewEvaluator(sys)
+			seq.SetParallelism(1)
+			par := NewEvaluator(sys)
+			par.SetParallelism(0)
+			if !seq.Eval(compound).Equal(par.Eval(compound)) {
+				t.Fatal("sequential and parallel evaluators disagree")
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"testing"
 
+	"github.com/eventual-agreement/eba/internal/failures"
 	"github.com/eventual-agreement/eba/internal/types"
 )
 
@@ -33,6 +34,13 @@ func FuzzFrameCodec(f *testing.F) {
 	f.Add([]byte{0xff})                                                                    // unknown flag
 	f.Add([]byte{flagPayload, 5, 1, 2})                                                    // truncated payload
 	f.Add(append([]byte{flagPayload, 0xa0, 0x8d, 0x06}, make([]byte, 64)...))              // > maxFrame
+	// New-mode corpus seeds: the frames a receiving- or general-omission
+	// run ships are opaque payloads here, but their pattern keys are the
+	// kind of structured bytes those runs put on the wire.
+	var modeSeed bytes.Buffer
+	writeFrame(&modeSeed, []byte(failures.Deaf(failures.ReceivingOmission, 3, 2, 1, 1).Key()))
+	writeFrame(&modeSeed, []byte(failures.Deaf(failures.GeneralOmission, 3, 2, 2, 1).Key()))
+	f.Add(modeSeed.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
@@ -70,6 +78,7 @@ func FuzzRoundFrameCodec(f *testing.F) {
 	f.Add(uint32(1), []byte("view"), false)
 	f.Add(uint32(0), []byte(nil), true)
 	f.Add(uint32(1<<31), bytes.Repeat([]byte{0xab}, 512), false)
+	f.Add(uint32(2), []byte(failures.Deaf(failures.ReceivingOmission, 4, 3, 2, 1).Key()), false)
 	f.Fuzz(func(t *testing.T, round uint32, payload []byte, null bool) {
 		if null {
 			payload = nil

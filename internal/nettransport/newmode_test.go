@@ -1,0 +1,101 @@
+package nettransport
+
+// Property coverage for the receiving- and general-omission
+// reconstruction: every seeded chaos run must reconstruct to a legal,
+// canonical pattern of its mode within the fault bound, the pattern
+// must replay identically on the deterministic engine, and an
+// independent reconstruction from the harness's own Observation must
+// agree with the engine's — drop for drop.
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/chaos"
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/fip"
+	"github.com/eventual-agreement/eba/internal/protocols"
+	"github.com/eventual-agreement/eba/internal/sim"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+func TestNewModeChaosReconstructionProperty(t *testing.T) {
+	proto := fip.WireProtocol(protocols.Chain0SyntacticPair())
+	params := types.Params{N: 3, T: 1}
+	const h = 2
+	cfg := types.ConfigFromBits(3, 0b011)
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, mode := range []failures.Mode{failures.ReceivingOmission, failures.GeneralOmission} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			drops := 0
+			for _, seed := range seeds {
+				plan, err := chaos.New(mode, params, h, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var tr *sim.Trace
+				var obs *failures.Observation
+				deadline := testDeadline
+				for attempt := 1; ; attempt++ {
+					obs = failures.NewObservation(params.N, h)
+					got, err := RunResilient(proto, params, cfg, Options{Plan: plan, Deadline: deadline, Observation: obs})
+					if err != nil {
+						var rerr *ReconstructionError
+						if errors.As(err, &rerr) && attempt < 3 {
+							t.Logf("seed %d attempt %d: %v — retrying", seed, attempt, err)
+							deadline *= 2
+							continue
+						}
+						t.Fatalf("seed %d: RunResilient: %v (plan %s)", seed, err, plan)
+					}
+					tr = got
+					break
+				}
+				pat := tr.Pattern
+				if pat.Mode() != mode {
+					t.Fatalf("seed %d: reconstructed mode %v, want %v", seed, pat.Mode(), mode)
+				}
+				if err := pat.CheckBound(params.T); err != nil {
+					t.Fatalf("seed %d: reconstructed pattern exceeds bound: %v", seed, err)
+				}
+				if !pat.Canonical() {
+					t.Fatalf("seed %d: reconstructed pattern not canonical: %s", seed, pat)
+				}
+				// Independent reconstruction from the same observation
+				// must agree with the engine's, and every observed drop
+				// must be a non-delivery of the pattern (and vice versa
+				// for required messages).
+				again, err := obs.Reconstruct(mode)
+				if err != nil {
+					t.Fatalf("seed %d: independent reconstruction: %v", seed, err)
+				}
+				if again.Key() != pat.Key() {
+					t.Fatalf("seed %d: independent reconstruction %s != engine's %s", seed, again, pat)
+				}
+				for sender, omit := range obs.Omissions() {
+					for idx, dsts := range omit {
+						for _, dst := range dsts.Members() {
+							drops++
+							if pat.Delivers(sender, types.Round(idx+1), dst) {
+								t.Fatalf("seed %d: drop %d→%d at round %d not reflected in pattern %s",
+									seed, sender, dst, idx+1, pat)
+							}
+						}
+					}
+				}
+				if err := VerifyReconstruction(proto, params, tr); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			// The property is vacuous if chaos never dropped anything.
+			if drops == 0 {
+				t.Fatalf("no seed in %v produced a drop in %s mode", seeds, mode)
+			}
+		})
+	}
+}

@@ -25,8 +25,9 @@ import (
 // failures; the HTTP layer maps it to 400.
 var ErrBadRequest = errors.New("bad request")
 
-// DefaultOmissionLimit bounds omission-mode enumerations that don't
-// give an explicit limit, mirroring the ebaq default.
+// DefaultOmissionLimit bounds omission-family enumerations (sending,
+// receiving, and general) that don't give an explicit limit, mirroring
+// the ebaq default.
 const DefaultOmissionLimit = 2_000_000
 
 // Request is one query: a formula plus the system it should be
@@ -191,25 +192,31 @@ func (e *Engine) Resolve(req Request) (store.Key, knowledge.Formula, error) {
 	if key.T == 0 {
 		key.T = 1
 	}
-	switch req.Mode {
-	case "", "crash":
-		key.Mode = failures.Crash
+	modeName := req.Mode
+	if modeName == "" {
+		modeName = "crash"
+	}
+	mode, err := failures.ParseMode(modeName)
+	if err != nil {
+		// Double-wrap so callers can match either the service-level
+		// ErrBadRequest or the typed failures.ErrUnknownMode.
+		return store.Key{}, nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	key.Mode = mode
+	if mode == failures.Crash {
 		// Crash enumeration ignores the limit; normalize it out of the
 		// key so "crash" and "crash, limit=x" share one snapshot.
 		key.Limit = 0
-	case "omission":
-		key.Mode = failures.Omission
-		if key.Limit == 0 {
-			key.Limit = DefaultOmissionLimit
-		}
-	default:
-		return store.Key{}, nil, fmt.Errorf("%w: unknown mode %q (want crash | omission)", ErrBadRequest, req.Mode)
+	} else if key.Limit == 0 {
+		// All three omission-family modes get the guard limit; the
+		// general mode needs it most (its count is squared per round).
+		key.Limit = DefaultOmissionLimit
 	}
 	if key.Horizon == 0 {
 		key.Horizon = key.T + 2
 	}
 	if err := key.Validate(); err != nil {
-		return store.Key{}, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return store.Key{}, nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
 	return key, f, nil
 }

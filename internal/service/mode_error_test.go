@@ -1,0 +1,72 @@
+package service
+
+// Cross-layer exhaustiveness test for failure-mode dispatch: every
+// layer that switches on a mode — enumeration, chaos planning, store
+// keys, and the query service — must accept all of failures.Modes and
+// reject anything else with the typed failures.ErrUnknownMode, so a
+// future fifth mode that misses a switch arm fails loudly here.
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/eventual-agreement/eba/internal/chaos"
+	"github.com/eventual-agreement/eba/internal/failures"
+	"github.com/eventual-agreement/eba/internal/store"
+	"github.com/eventual-agreement/eba/internal/system"
+	"github.com/eventual-agreement/eba/internal/types"
+)
+
+func TestEveryModeAcceptedEverywhere(t *testing.T) {
+	params := types.Params{N: 2, T: 1}
+	for _, mode := range failures.Modes {
+		if _, err := system.Enumerate(params, mode, 2, 0); err != nil {
+			t.Fatalf("system.Enumerate(%s): %v", mode, err)
+		}
+		if _, err := chaos.New(mode, params, 2, 42); err != nil {
+			t.Fatalf("chaos.New(%s): %v", mode, err)
+		}
+		key := store.Key{N: 2, T: 1, Mode: mode, Horizon: 2}
+		if err := key.Validate(); err != nil {
+			t.Fatalf("Key.Validate(%s): %v", mode, err)
+		}
+		e := NewEngine(nil, 0)
+		resolved, _, err := e.Resolve(Request{Formula: "E E0", N: 2, T: 1, Mode: mode.String(), Horizon: 2})
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", mode, err)
+		}
+		if resolved.Mode != mode {
+			t.Fatalf("Resolve(%s) produced key mode %s", mode, resolved.Mode)
+		}
+		if mode == failures.Crash {
+			if resolved.Limit != 0 {
+				t.Fatalf("crash key carries limit %d", resolved.Limit)
+			}
+		} else if resolved.Limit != DefaultOmissionLimit {
+			t.Fatalf("%s key limit = %d, want default %d", mode, resolved.Limit, DefaultOmissionLimit)
+		}
+	}
+}
+
+func TestUnknownModeTypedEverywhere(t *testing.T) {
+	params := types.Params{N: 2, T: 1}
+	bad := failures.Mode(99)
+	if _, err := system.Enumerate(params, bad, 2, 0); !errors.Is(err, failures.ErrUnknownMode) {
+		t.Fatalf("system.Enumerate: %v; want ErrUnknownMode", err)
+	}
+	if _, err := chaos.New(bad, params, 2, 42); !errors.Is(err, failures.ErrUnknownMode) {
+		t.Fatalf("chaos.New: %v; want ErrUnknownMode", err)
+	}
+	key := store.Key{N: 2, T: 1, Mode: bad, Horizon: 2}
+	if err := key.Validate(); !errors.Is(err, failures.ErrUnknownMode) {
+		t.Fatalf("Key.Validate: %v; want ErrUnknownMode", err)
+	}
+	e := NewEngine(nil, 0)
+	_, _, err := e.Resolve(Request{Formula: "E E0", N: 2, T: 1, Mode: "byzantine", Horizon: 2})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Resolve: %v; want ErrBadRequest", err)
+	}
+	if !errors.Is(err, failures.ErrUnknownMode) {
+		t.Fatalf("Resolve: %v; want the typed failures.ErrUnknownMode inside ErrBadRequest", err)
+	}
+}

@@ -48,7 +48,7 @@ func (k Key) Validate() error {
 		return err
 	}
 	if !k.Mode.Valid() {
-		return fmt.Errorf("store: invalid mode %v", k.Mode)
+		return fmt.Errorf("store: %w %v", failures.ErrUnknownMode, k.Mode)
 	}
 	if k.Horizon < 1 {
 		return fmt.Errorf("store: horizon %d < 1", k.Horizon)
@@ -145,6 +145,16 @@ func EncodeSystem(key Key, sys *system.System) ([]byte, error) {
 			for r := 1; r <= key.Horizon; r++ {
 				buf = binary.AppendUvarint(buf, uint64(pat.OmittedBy(p, types.Round(r))))
 			}
+			// Receiving-omission schedules exist only in the receiving
+			// and general modes. The mode is in the header, so the
+			// decoder knows whether to expect them — and pure
+			// sending-mode snapshots keep their pre-existing byte layout
+			// (the golden digests pin it).
+			if key.Mode.HasReceivingFaults() {
+				for r := 1; r <= key.Horizon; r++ {
+					buf = binary.AppendUvarint(buf, uint64(pat.RecvOmittedBy(p, types.Round(r))))
+				}
+			}
 		}
 	}
 
@@ -226,6 +236,12 @@ func DecodeSystem(data []byte) (Key, *system.System, error) {
 			b := &failures.Behavior{Omit: make([]types.ProcSet, key.Horizon)}
 			for r := 0; r < key.Horizon; r++ {
 				b.Omit[r] = types.ProcSet(d.uvarint())
+			}
+			if key.Mode.HasReceivingFaults() {
+				b.Recv = make([]types.ProcSet, key.Horizon)
+				for r := 0; r < key.Horizon; r++ {
+					b.Recv[r] = types.ProcSet(d.uvarint())
+				}
 			}
 			behavior[p] = b
 		}

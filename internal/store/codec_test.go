@@ -27,6 +27,9 @@ func TestCodecRoundTrip(t *testing.T) {
 		testKey(),
 		{N: 3, T: 1, Mode: failures.Omission, Horizon: 2, Limit: 500},
 		{N: 4, T: 1, Mode: failures.Crash, Horizon: 2},
+		{N: 3, T: 1, Mode: failures.ReceivingOmission, Horizon: 2, Limit: 500},
+		{N: 3, T: 1, Mode: failures.GeneralOmission, Horizon: 2, Limit: 1000},
+		{N: 2, T: 1, Mode: failures.GeneralOmission, Horizon: 3, Limit: 2000},
 	} {
 		t.Run(key.Slug(), func(t *testing.T) {
 			sys := enumerateTestSystem(t, key)
@@ -93,19 +96,40 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
-// TestCodecGoldenDigest pins the snapshot encoding: if this digest
-// changes, the codec's output changed, and snapVersion must be bumped
-// so stale on-disk snapshots are rejected instead of misread.
+// TestCodecGoldenDigest pins the snapshot encoding, one golden per
+// failure mode: if a digest changes, the codec's output changed, and
+// snapVersion must be bumped so stale on-disk snapshots are rejected
+// instead of misread. The crash and sending-omission pins predate the
+// receiving modes — the codec gates receive schedules on
+// Mode.HasReceivingFaults(), so adding those modes must never move a
+// sending-mode byte.
 func TestCodecGoldenDigest(t *testing.T) {
-	key := testKey()
-	sys := enumerateTestSystem(t, key)
-	data, err := EncodeSystem(key, sys)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		key    Key
+		golden string
+	}{
+		{testKey(),
+			"bb657aa409b130922f91336993b2f761f3351f004e03fca7ee8e6175122b4b78"},
+		{Key{N: 3, T: 1, Mode: failures.Omission, Horizon: 2, Limit: 2_000_000},
+			"72d7bb575ebedb0737ae023807e808525324ac37727a27fd379a5255c05b7cd9"},
+		{Key{N: 3, T: 1, Mode: failures.ReceivingOmission, Horizon: 2, Limit: 2_000_000},
+			"e792e7e13f6099e75bbd50580308bd9400a568699a3e7d6d36c2b4496369886e"},
+		{Key{N: 3, T: 1, Mode: failures.GeneralOmission, Horizon: 2, Limit: 2_000_000},
+			"cc01d4fc84845682a98d417f0192e0cbb530ed7613fd2a042644417ad5687136"},
+		{Key{N: 2, T: 1, Mode: failures.GeneralOmission, Horizon: 2, Limit: 2_000_000},
+			"d21273ff78db10c9be298f628918fa961ae21863330bea6d2a8ed7261a9af5f5"},
 	}
-	const golden = "bb657aa409b130922f91336993b2f761f3351f004e03fca7ee8e6175122b4b78"
-	if got := Digest(data); got != golden {
-		t.Fatalf("snapshot digest = %s, golden = %s\n(If the codec or the enumeration order changed on purpose, bump snapVersion and update this golden.)", got, golden)
+	for _, tc := range cases {
+		t.Run(tc.key.Slug(), func(t *testing.T) {
+			sys := enumerateTestSystem(t, tc.key)
+			data, err := EncodeSystem(tc.key, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Digest(data); got != tc.golden {
+				t.Fatalf("snapshot digest = %s, golden = %s\n(If the codec or the enumeration order changed on purpose, bump snapVersion and update this golden.)", got, tc.golden)
+			}
+		})
 	}
 }
 

@@ -30,6 +30,25 @@ func FuzzDecodeSystem(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/3] ^= 0x20
 	f.Add(flipped)
+	// Snapshots of the receiving modes carry the extra per-round
+	// receive-schedule section; seed the corpus with both so mutations
+	// explore the mode-gated decode path too.
+	for _, key := range []Key{
+		{N: 2, T: 1, Mode: failures.ReceivingOmission, Horizon: 2, Limit: 100},
+		{N: 2, T: 1, Mode: failures.GeneralOmission, Horizon: 2, Limit: 200},
+	} {
+		sys, err := enumerateKey(key)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := EncodeSystem(key, sys)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		cut := append([]byte(nil), blob[:len(blob)*2/3]...)
+		f.Add(cut)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		gotKey, got, err := DecodeSystem(data)

@@ -84,9 +84,10 @@ type System struct {
 
 // Enumerate builds the exhaustive system for the mode: all initial
 // configurations crossed with all canonical failure patterns up to t
-// faulty processors. For the omission mode the pattern count grows as
-// (2^(n-1))^h per faulty processor; limit > 0 bounds it, limit == 0
-// means no limit, and limit < 0 is an error.
+// faulty processors. For the omission modes the pattern count grows as
+// (2^(n-1))^h per faulty processor (squared per round for the general
+// mode); limit > 0 bounds it, limit == 0 means no limit, and limit < 0
+// is an error.
 func Enumerate(params types.Params, mode failures.Mode, horizon int, limit int) (*System, error) {
 	pats, err := enumerate(params, mode, horizon, limit)
 	if err != nil {
@@ -106,8 +107,12 @@ func enumerate(params types.Params, mode failures.Mode, horizon int, limit int) 
 		return failures.EnumCrash(params.N, params.T, horizon)
 	case failures.Omission:
 		return failures.EnumOmission(params.N, params.T, horizon, limit)
+	case failures.ReceivingOmission:
+		return failures.EnumReceiving(params.N, params.T, horizon, limit)
+	case failures.GeneralOmission:
+		return failures.EnumGeneral(params.N, params.T, horizon, limit)
 	default:
-		return nil, fmt.Errorf("system: invalid mode %v", mode)
+		return nil, fmt.Errorf("system: %w %v", failures.ErrUnknownMode, mode)
 	}
 }
 

@@ -14,8 +14,11 @@ import (
 //
 // The result is indexed result[m][p] = view of processor p at time m.
 // Faulty processors' views are computed too: in the crash mode a
-// crashed processor's state is irrelevant (it no longer sends), and in
-// the omission mode faulty processors receive everything.
+// crashed processor's state is irrelevant (it no longer sends), in the
+// sending-omission mode faulty processors receive everything, and in
+// the receiving- and general-omission modes a faulty processor's view
+// is missing exactly the messages its pattern drops — all of which
+// Pattern.Delivers encodes, so the construction is mode-independent.
 func BuildRun(in *Interner, cfg types.Config, pat *failures.Pattern) [][]ID {
 	n := in.N()
 	if cfg.N() != n || pat.N() != n {
